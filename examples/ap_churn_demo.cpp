@@ -1,0 +1,64 @@
+// AP-churn demo: ambient access points come and go (reboots, power
+// save, new neighbors). This example contrasts GEM with the
+// conventional fixed-length "padded matrix" pipeline when a quarter of
+// the MACs churn ON/OFF through the session — the exact failure mode
+// of missing-value imputation the paper motivates GEM with.
+
+#include <cstdio>
+
+#include "core/embedding_pipeline.h"
+#include "core/gem.h"
+#include "detect/hbos.h"
+#include "embed/matrix_rep.h"
+#include "math/metrics.h"
+#include "rf/dataset.h"
+#include "rf/dynamics.h"
+
+using namespace gem;  // NOLINT(build/namespaces) example binary
+
+namespace {
+
+math::InOutMetrics Run(core::GeofencingSystem& system,
+                       const rf::Dataset& data) {
+  if (!system.Train(data.train).ok()) return {};
+  std::vector<bool> actual, predicted;
+  for (const rf::ScanRecord& record : data.test) {
+    actual.push_back(record.inside);
+    predicted.push_back(system.Infer(record).decision ==
+                        core::Decision::kInside);
+  }
+  return math::ComputeInOutMetrics(actual, predicted);
+}
+
+}  // namespace
+
+int main() {
+  rf::DatasetOptions options;
+  options.seed = 99;
+  rf::Dataset data = rf::GenerateScenarioDataset(rf::HomePreset(6), options);
+
+  // Let every MAC flip ON/OFF through the session (two-state Markov,
+  // transition every 30 samples).
+  math::Rng churn(5);
+  rf::ApplyApOnOffDynamics(data.train, 0.15, 0.15, 30, churn);
+  rf::ApplyApOnOffDynamics(data.test, 0.15, 0.15, 30, churn);
+  std::printf("dataset with AP ON-OFF churn: %zu train, %zu test records\n\n",
+              data.train.size(), data.test.size());
+
+  core::Gem gem{core::GemConfig{}};
+  const math::InOutMetrics gem_metrics = Run(gem, data);
+  std::printf("GEM (bipartite graph + BiSAGE):   F_in=%.3f  F_out=%.3f\n",
+              gem_metrics.f_in, gem_metrics.f_out);
+
+  core::EmbeddingPipeline padded(
+      "padded matrix + OD", std::make_unique<embed::RawVectorEmbedder>(),
+      std::make_unique<detect::EnhancedHbosDetector>());
+  const math::InOutMetrics raw_metrics = Run(padded, data);
+  std::printf("padded matrix (-120 dBm) + OD:    F_in=%.3f  F_out=%.3f\n",
+              raw_metrics.f_in, raw_metrics.f_out);
+
+  std::printf("\nThe graph representation never imputes missing values — a "
+              "record is connected only\nto the MACs it actually sensed — "
+              "so AP churn degrades it far less.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef GEM_BASE_CHECK_H_
+#define GEM_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// GEM_CHECK(cond): aborts with a message when a programmer-error
+/// invariant is violated. Used for conditions that indicate a bug in
+/// the calling code (out-of-range indices, size mismatches), not for
+/// data-dependent failures, which return gem::Status instead.
+#define GEM_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "GEM_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// GEM_CHECK with a printf-style explanation appended.
+#define GEM_CHECK_MSG(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "GEM_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define GEM_DCHECK(cond) GEM_CHECK(cond)
+#else
+#define GEM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // GEM_BASE_CHECK_H_

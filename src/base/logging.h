@@ -1,0 +1,44 @@
+#ifndef GEM_BASE_LOGGING_H_
+#define GEM_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default: Info).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace gem
+
+#define GEM_LOG(level)                                      \
+  ::gem::internal_logging::LogMessage(::gem::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+#endif  // GEM_BASE_LOGGING_H_

@@ -1,0 +1,46 @@
+#include "core/embedding_pipeline.h"
+
+#include "base/check.h"
+
+namespace gem::core {
+
+EmbeddingPipeline::EmbeddingPipeline(
+    std::string name, std::unique_ptr<embed::RecordEmbedder> embedder,
+    std::unique_ptr<detect::OutlierDetector> detector, bool online_update)
+    : name_(std::move(name)),
+      embedder_(std::move(embedder)),
+      detector_(std::move(detector)),
+      online_update_(online_update) {
+  GEM_CHECK(embedder_ != nullptr && detector_ != nullptr);
+}
+
+Status EmbeddingPipeline::Train(
+    const std::vector<rf::ScanRecord>& inside_records) {
+  Status status = embedder_->Fit(inside_records);
+  if (!status.ok()) return status;
+  std::vector<math::Vec> embeddings;
+  embeddings.reserve(inside_records.size());
+  for (int i = 0; i < embedder_->num_train(); ++i) {
+    embeddings.push_back(embedder_->TrainEmbedding(i));
+  }
+  return detector_->Fit(embeddings);
+}
+
+InferenceResult EmbeddingPipeline::Infer(const rf::ScanRecord& record) {
+  const std::optional<math::Vec> embedding = embedder_->EmbedNew(record);
+  InferenceResult result;
+  if (!embedding.has_value()) {
+    result.decision = Decision::kOutside;
+    result.score = 1.0;
+    return result;
+  }
+  result.score = detector_->Score(*embedding);
+  result.decision = detector_->IsOutlier(*embedding) ? Decision::kOutside
+                                                     : Decision::kInside;
+  if (online_update_ && result.decision == Decision::kInside) {
+    result.model_updated = detector_->MaybeUpdate(*embedding);
+  }
+  return result;
+}
+
+}  // namespace gem::core

@@ -1,0 +1,42 @@
+#ifndef GEM_CORE_EMBEDDING_PIPELINE_H_
+#define GEM_CORE_EMBEDDING_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/geofence.h"
+#include "detect/detector.h"
+#include "embed/embedder.h"
+
+namespace gem::core {
+
+/// Generic "embedder + detector" geofencing pipeline, used for every
+/// Table I arm that mixes components: GraphSAGE + OD, Autoencoder +
+/// OD, MDS + OD, BiSAGE + {feature bagging, iForest, LOF}, and
+/// Figure 7's raw-matrix + OD. Records that cannot be embedded are
+/// classified outside outright, mirroring GEM.
+class EmbeddingPipeline : public GeofencingSystem {
+ public:
+  EmbeddingPipeline(std::string name,
+                    std::unique_ptr<embed::RecordEmbedder> embedder,
+                    std::unique_ptr<detect::OutlierDetector> detector,
+                    bool online_update = true);
+
+  Status Train(const std::vector<rf::ScanRecord>& inside_records) override;
+  InferenceResult Infer(const rf::ScanRecord& record) override;
+  std::string name() const override { return name_; }
+
+  const detect::OutlierDetector& detector() const { return *detector_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<embed::RecordEmbedder> embedder_;
+  std::unique_ptr<detect::OutlierDetector> detector_;
+  bool online_update_;
+};
+
+}  // namespace gem::core
+
+#endif  // GEM_CORE_EMBEDDING_PIPELINE_H_

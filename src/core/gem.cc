@@ -1,0 +1,65 @@
+#include "core/gem.h"
+
+#include "base/check.h"
+
+namespace gem::core {
+
+Gem::Gem(GemConfig config)
+    : config_(config),
+      embedder_(config.bisage, config.edge_weight),
+      detector_(config.detector) {}
+
+Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
+  Status status = embedder_.Fit(inside_records);
+  if (!status.ok()) return status;
+
+  std::vector<math::Vec> embeddings;
+  embeddings.reserve(inside_records.size());
+  for (int i = 0; i < embedder_.num_train(); ++i) {
+    embeddings.push_back(embedder_.TrainEmbedding(i));
+  }
+  status = detector_.Fit(embeddings);
+  if (!status.ok()) return status;
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::optional<math::Vec> Gem::EmbedRecord(const rf::ScanRecord& record) {
+  GEM_CHECK(trained_);
+  return embedder_.EmbedNew(record);
+}
+
+InferenceResult Gem::Detect(const math::Vec& embedding) const {
+  GEM_CHECK(trained_);
+  InferenceResult result;
+  // Report the min-max normalized score (monotone in S_T but free of
+  // the softmax saturation plateau, so ROC sweeps retain resolution);
+  // the decision is Equation (11) at the detector's calibrated tau_u.
+  result.score = detector_.NormalizedScore(embedding);
+  result.decision = detector_.IsOutlier(embedding) ? Decision::kOutside
+                                                   : Decision::kInside;
+  return result;
+}
+
+bool Gem::Update(const math::Vec& embedding) {
+  GEM_CHECK(trained_);
+  return detector_.MaybeUpdate(embedding);
+}
+
+InferenceResult Gem::Infer(const rf::ScanRecord& record) {
+  const std::optional<math::Vec> embedding = EmbedRecord(record);
+  if (!embedding.has_value()) {
+    // No MAC in common with anything seen: alert outright.
+    InferenceResult result;
+    result.decision = Decision::kOutside;
+    result.score = 1.0;
+    return result;
+  }
+  InferenceResult result = Detect(*embedding);
+  if (config_.online_update && result.decision == Decision::kInside) {
+    result.model_updated = Update(*embedding);
+  }
+  return result;
+}
+
+}  // namespace gem::core

@@ -1,0 +1,66 @@
+#ifndef GEM_CORE_GEM_H_
+#define GEM_CORE_GEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geofence.h"
+#include "detect/hbos.h"
+#include "embed/bisage.h"
+#include "graph/edge_weight.h"
+
+namespace gem::core {
+
+/// Full GEM configuration: the bipartite-graph edge weights, BiSAGE,
+/// the enhanced histogram detector, and the online self-enhancement
+/// switch. Defaults are the paper's tuned values (Section VI).
+struct GemConfig {
+  graph::EdgeWeightConfig edge_weight;
+  embed::BiSageConfig bisage;
+  detect::EnhancedHbosOptions detector;
+  /// Section V-B self-enhancement (absorb highly confident normals).
+  bool online_update = true;
+};
+
+/// GEM (Section III): weighted bipartite graph -> BiSAGE embeddings ->
+/// enhanced histogram-based one-class detection, with online
+/// embedding prediction and model self-enhancement.
+///
+/// The three inference stages are public so the latency breakdown of
+/// Table III can time them independently; Infer() composes them.
+class Gem : public GeofencingSystem {
+ public:
+  explicit Gem(GemConfig config = GemConfig());
+
+  Status Train(const std::vector<rf::ScanRecord>& inside_records) override;
+  InferenceResult Infer(const rf::ScanRecord& record) override;
+  std::string name() const override { return "GEM (BiSAGE + OD)"; }
+
+  /// Stage 1 (Section V-A): add the record to the graph and compute
+  /// its primary embedding; nullopt when it shares no MAC with the
+  /// graph (outlier outright, footnote 3).
+  std::optional<math::Vec> EmbedRecord(const rf::ScanRecord& record);
+
+  /// Stage 2: in-out detection on an embedding (Equation (11)).
+  InferenceResult Detect(const math::Vec& embedding) const;
+
+  /// Stage 3 (Section V-B): offer the embedding for self-enhancement;
+  /// returns whether the detector absorbed it.
+  bool Update(const math::Vec& embedding);
+
+  const GemConfig& config() const { return config_; }
+  const embed::BiSageEmbedder& embedder() const { return embedder_; }
+  const detect::EnhancedHbosDetector& detector() const { return detector_; }
+
+ private:
+  GemConfig config_;
+  embed::BiSageEmbedder embedder_;
+  detect::EnhancedHbosDetector detector_;
+  bool trained_ = false;
+};
+
+}  // namespace gem::core
+
+#endif  // GEM_CORE_GEM_H_

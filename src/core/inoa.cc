@@ -1,0 +1,118 @@
+#include "core/inoa.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "math/stats.h"
+
+namespace gem::core {
+namespace {
+
+/// Normalizes an RSS into roughly [0, 1] for the SVDD kernel.
+double NormalizeRss(double rss_dbm) {
+  return std::clamp((rss_dbm + 120.0) / 100.0, 0.0, 1.0);
+}
+
+}  // namespace
+
+Inoa::Inoa(InoaOptions options) : options_(options) {}
+
+math::Vec Inoa::PairFeature(double rss_a, double rss_b) {
+  return {NormalizeRss(rss_a), NormalizeRss(rss_b)};
+}
+
+Status Inoa::Train(const std::vector<rf::ScanRecord>& inside_records) {
+  if (inside_records.empty()) {
+    return Status::InvalidArgument("no training records");
+  }
+  // Expand every record into per-pair feature points.
+  std::map<PairKey, std::vector<math::Vec>> pair_points;
+  for (const rf::ScanRecord& record : inside_records) {
+    const auto& r = record.readings;
+    for (size_t i = 0; i < r.size(); ++i) {
+      for (size_t j = i + 1; j < r.size(); ++j) {
+        const bool ordered = r[i].mac < r[j].mac;
+        const PairKey key = ordered ? PairKey{r[i].mac, r[j].mac}
+                                    : PairKey{r[j].mac, r[i].mac};
+        const double a = ordered ? r[i].rss_dbm : r[j].rss_dbm;
+        const double b = ordered ? r[j].rss_dbm : r[i].rss_dbm;
+        pair_points[key].push_back(PairFeature(a, b));
+      }
+    }
+  }
+
+  // Keep the most frequently co-observed pairs.
+  std::vector<std::pair<PairKey, size_t>> ranked;
+  for (const auto& [key, points] : pair_points) {
+    if (static_cast<int>(points.size()) >= options_.min_pair_count) {
+      ranked.emplace_back(key, points.size());
+    }
+  }
+  if (ranked.empty()) {
+    return Status::FailedPrecondition(
+        "no MAC pair co-observed often enough for INOA");
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (static_cast<int>(ranked.size()) > options_.max_pairs) {
+    ranked.resize(options_.max_pairs);
+  }
+
+  models_.clear();
+  for (const auto& [key, count] : ranked) {
+    auto svdd = std::make_unique<detect::SvddDetector>(options_.svdd);
+    Status status = svdd->Fit(pair_points[key]);
+    if (!status.ok()) return status;
+    models_.emplace(key, std::move(svdd));
+  }
+
+  // Calibrate the vote threshold on the training records themselves.
+  math::Vec fractions;
+  for (const rf::ScanRecord& record : inside_records) {
+    const double fraction = InsideFraction(record);
+    if (fraction >= 0.0) fractions.push_back(fraction);
+  }
+  if (fractions.empty()) {
+    return Status::Internal("training records touch no modeled pair");
+  }
+  vote_threshold_ =
+      math::Percentile(fractions, options_.threshold_percentile);
+  return Status::Ok();
+}
+
+double Inoa::InsideFraction(const rf::ScanRecord& record) const {
+  const auto& r = record.readings;
+  int considered = 0;
+  int votes = 0;
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = i + 1; j < r.size(); ++j) {
+      const bool ordered = r[i].mac < r[j].mac;
+      const PairKey key = ordered ? PairKey{r[i].mac, r[j].mac}
+                                  : PairKey{r[j].mac, r[i].mac};
+      const auto it = models_.find(key);
+      if (it == models_.end()) continue;
+      const double a = ordered ? r[i].rss_dbm : r[j].rss_dbm;
+      const double b = ordered ? r[j].rss_dbm : r[i].rss_dbm;
+      ++considered;
+      votes += it->second->IsOutlier(PairFeature(a, b)) ? 0 : 1;
+    }
+  }
+  if (considered == 0) return -1.0;
+  return static_cast<double>(votes) / considered;
+}
+
+InferenceResult Inoa::Infer(const rf::ScanRecord& record) {
+  InferenceResult result;
+  const double fraction = InsideFraction(record);
+  if (fraction < 0.0) {
+    result.decision = Decision::kOutside;
+    result.score = 1.0;
+    return result;
+  }
+  result.score = 1.0 - fraction;
+  result.decision = fraction >= vote_threshold_ ? Decision::kInside
+                                                : Decision::kOutside;
+  return result;
+}
+
+}  // namespace gem::core

@@ -1,0 +1,61 @@
+#ifndef GEM_CORE_INOA_H_
+#define GEM_CORE_INOA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/geofence.h"
+#include "detect/svdd.h"
+
+namespace gem::core {
+
+/// Configuration of the INOA baseline.
+struct InoaOptions {
+  /// Minimum co-observations for a MAC pair to get its own SVDD.
+  int min_pair_count = 10;
+  /// Cap on modeled pairs (most frequently co-observed first).
+  int max_pairs = 300;
+  /// Fraction of a record's modeled pairs that must fall inside their
+  /// spheres is calibrated from training; this percentile sets how
+  /// permissive the calibrated vote threshold is.
+  double threshold_percentile = 5.0;
+  detect::SvddOptions svdd;
+};
+
+/// Re-implementation of INOA (Chow et al., TMC 2019) as characterized
+/// by the GEM paper: each variable-size record is expanded into a set
+/// of per-AP-pair records carrying the two RSS values, and support
+/// vector data description models the in-premises region of each
+/// pair's RSS space. A new record votes over its sensed pairs; too few
+/// in-sphere votes means outside. The pairwise expansion is what makes
+/// its support vectors represent 'inside' poorly (low P_out).
+class Inoa : public GeofencingSystem {
+ public:
+  explicit Inoa(InoaOptions options = InoaOptions());
+
+  Status Train(const std::vector<rf::ScanRecord>& inside_records) override;
+  InferenceResult Infer(const rf::ScanRecord& record) override;
+  std::string name() const override { return "INOA"; }
+
+  int num_modeled_pairs() const { return static_cast<int>(models_.size()); }
+
+ private:
+  using PairKey = std::pair<std::string, std::string>;
+
+  /// Inside-vote fraction of a record over modeled pairs; -1 when the
+  /// record touches no modeled pair.
+  double InsideFraction(const rf::ScanRecord& record) const;
+
+  static math::Vec PairFeature(double rss_a, double rss_b);
+
+  InoaOptions options_;
+  std::map<PairKey, std::unique_ptr<detect::SvddDetector>> models_;
+  double vote_threshold_ = 0.5;
+};
+
+}  // namespace gem::core
+
+#endif  // GEM_CORE_INOA_H_

@@ -1,0 +1,105 @@
+#include "core/signature_home.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "math/stats.h"
+#include "math/vec.h"
+
+namespace gem::core {
+
+SignatureHome::SignatureHome(SignatureHomeOptions options)
+    : options_(options) {}
+
+Status SignatureHome::Train(
+    const std::vector<rf::ScanRecord>& inside_records) {
+  if (inside_records.size() < 2) {
+    return Status::InvalidArgument(
+        "SignatureHome needs at least 2 training records");
+  }
+
+  // Collect per-MAC RSS samples and presence counts.
+  std::unordered_map<std::string, math::Vec> rss_samples;
+  for (const rf::ScanRecord& record : inside_records) {
+    for (const rf::Reading& reading : record.readings) {
+      rss_samples[reading.mac].push_back(reading.rss_dbm);
+    }
+  }
+  if (rss_samples.empty()) {
+    return Status::InvalidArgument("training records contain no MACs");
+  }
+
+  signature_.clear();
+  home_macs_.clear();
+  const double min_count =
+      options_.home_mac_fraction * static_cast<double>(inside_records.size());
+  for (const auto& [mac, samples] : rss_samples) {
+    MacSignature sig;
+    sig.lo_dbm = math::Percentile(samples, options_.range_percentile) -
+                 options_.range_slack_db;
+    sig.hi_dbm =
+        math::Percentile(samples, 100.0 - options_.range_percentile) +
+        options_.range_slack_db;
+    signature_.emplace(mac, sig);
+    if (static_cast<double>(samples.size()) >= min_count &&
+        math::Mean(samples) >= options_.home_mac_mean_rss_dbm) {
+      home_macs_.insert(mac);
+    }
+  }
+
+  // Calibrate the match threshold on the training records themselves.
+  math::Vec scores;
+  scores.reserve(inside_records.size());
+  for (const rf::ScanRecord& record : inside_records) {
+    scores.push_back(MatchScore(record));
+  }
+  match_threshold_ = math::Percentile(scores, options_.threshold_percentile);
+  return Status::Ok();
+}
+
+double SignatureHome::MatchScore(const rf::ScanRecord& record) const {
+  if (record.readings.empty()) return 0.0;
+  int consistent = 0;
+  for (const rf::Reading& reading : record.readings) {
+    const auto it = signature_.find(reading.mac);
+    if (it == signature_.end()) continue;
+    if (reading.rss_dbm >= it->second.lo_dbm &&
+        reading.rss_dbm <= it->second.hi_dbm) {
+      ++consistent;
+    }
+  }
+  return static_cast<double>(consistent) /
+         static_cast<double>(record.readings.size());
+}
+
+InferenceResult SignatureHome::Infer(const rf::ScanRecord& record) {
+  InferenceResult result;
+  if (record.readings.empty()) {
+    result.decision = Decision::kOutside;
+    result.score = 1.0;
+    return result;
+  }
+
+  // Network-association shortcut: a strong reading from a home AP.
+  const rf::Reading* strongest = nullptr;
+  for (const rf::Reading& reading : record.readings) {
+    if (strongest == nullptr || reading.rss_dbm > strongest->rss_dbm) {
+      strongest = &reading;
+    }
+  }
+  if (strongest != nullptr &&
+      strongest->rss_dbm >= options_.association_rss_dbm &&
+      home_macs_.count(strongest->mac) > 0) {
+    result.decision = Decision::kInside;
+    result.score = 0.0;
+    return result;
+  }
+
+  const double match = MatchScore(record);
+  result.score = 1.0 - match;
+  result.decision = match >= match_threshold_ ? Decision::kInside
+                                              : Decision::kOutside;
+  return result;
+}
+
+}  // namespace gem::core

@@ -1,0 +1,20 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace gem::detect {
+
+double ContaminationThreshold(const math::Vec& scores, double contamination) {
+  GEM_CHECK(!scores.empty());
+  GEM_CHECK(contamination >= 0.0 && contamination <= 1.0);
+  math::Vec sorted = scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(contamination * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace gem::detect

@@ -1,0 +1,45 @@
+#ifndef GEM_DETECT_DETECTOR_H_
+#define GEM_DETECT_DETECTOR_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "math/vec.h"
+
+namespace gem::detect {
+
+/// One-class outlier detector over fixed-length feature vectors
+/// (record embeddings in GEM). Fit on "normal" (in-premises) samples
+/// only; Score/IsOutlier classify new samples.
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  /// Trains on normal samples. Must be called once before scoring.
+  virtual Status Fit(const std::vector<math::Vec>& normal) = 0;
+
+  /// Outlier score; HIGHER means more likely an outlier. Scales are
+  /// detector-specific (use IsOutlier for calibrated decisions, and
+  /// Score for ROC curves).
+  virtual double Score(const math::Vec& x) const = 0;
+
+  /// Calibrated decision at the detector's fitted threshold.
+  virtual bool IsOutlier(const math::Vec& x) const = 0;
+
+  /// Offers a sample for unsupervised model refinement. Returns true
+  /// if the detector absorbed it (only GEM's enhanced histogram
+  /// detector does; others are static and return false).
+  virtual bool MaybeUpdate(const math::Vec& x) {
+    (void)x;
+    return false;
+  }
+};
+
+/// Fits `threshold` such that about `contamination` of the training
+/// scores exceed it (the classic contamination calibration used by
+/// HBOS/iForest/LOF). Scores must be non-empty.
+double ContaminationThreshold(const math::Vec& scores, double contamination);
+
+}  // namespace gem::detect
+
+#endif  // GEM_DETECT_DETECTOR_H_

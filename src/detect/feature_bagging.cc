@@ -1,0 +1,70 @@
+#include "detect/feature_bagging.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace gem::detect {
+
+math::Vec FeatureBagging::Project(const math::Vec& x,
+                                  const std::vector<int>& dims) const {
+  math::Vec out(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) out[i] = x[dims[i]];
+  return out;
+}
+
+Status FeatureBagging::Fit(const std::vector<math::Vec>& normal) {
+  if (normal.empty()) {
+    return Status::InvalidArgument("no training data");
+  }
+  const int d = static_cast<int>(normal[0].size());
+  if (d < 2) {
+    return Status::InvalidArgument("feature bagging needs >= 2 dimensions");
+  }
+  math::Rng rng(options_.seed);
+  feature_sets_.clear();
+  detectors_.clear();
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    // Subset size uniform in [d/2, d-1] (original paper).
+    const int size = rng.UniformIntRange(std::max(d / 2, 1), d - 1);
+    std::vector<int> dims(d);
+    std::iota(dims.begin(), dims.end(), 0);
+    rng.Shuffle(dims);
+    dims.resize(size);
+    std::sort(dims.begin(), dims.end());
+
+    std::vector<math::Vec> projected;
+    projected.reserve(normal.size());
+    for (const math::Vec& x : normal) projected.push_back(Project(x, dims));
+
+    auto detector = std::make_unique<LofDetector>(options_.base);
+    Status status = detector->Fit(projected);
+    if (!status.ok()) return status;
+    feature_sets_.push_back(std::move(dims));
+    detectors_.push_back(std::move(detector));
+  }
+
+  math::Vec scores;
+  scores.reserve(normal.size());
+  for (const math::Vec& x : normal) scores.push_back(Score(x));
+  threshold_ = ContaminationThreshold(scores, options_.contamination);
+  return Status::Ok();
+}
+
+double FeatureBagging::Score(const math::Vec& x) const {
+  GEM_CHECK(!detectors_.empty());
+  // Cumulative-sum combination.
+  double total = 0.0;
+  for (size_t r = 0; r < detectors_.size(); ++r) {
+    total += detectors_[r]->Score(Project(x, feature_sets_[r]));
+  }
+  return total;
+}
+
+bool FeatureBagging::IsOutlier(const math::Vec& x) const {
+  return Score(x) > threshold_;
+}
+
+}  // namespace gem::detect

@@ -1,0 +1,47 @@
+#ifndef GEM_DETECT_FEATURE_BAGGING_H_
+#define GEM_DETECT_FEATURE_BAGGING_H_
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/lof.h"
+#include "math/rng.h"
+
+namespace gem::detect {
+
+/// Feature bagging (Lazarevic & Kumar, KDD'05): R rounds of a base
+/// outlier detector (LOF, as in the original paper) on random feature
+/// subsets of size in [d/2, d-1]; final score is the cumulative sum of
+/// the per-round scores. The "BiSAGE + Feature bagging" baseline of
+/// Table I.
+struct FeatureBaggingOptions {
+  int rounds = 10;
+  LofOptions base;
+  double contamination = 0.1;
+  uint64_t seed = 37;
+};
+
+class FeatureBagging : public OutlierDetector {
+ public:
+  explicit FeatureBagging(FeatureBaggingOptions options = FeatureBaggingOptions()) : options_(options) {}
+
+  Status Fit(const std::vector<math::Vec>& normal) override;
+  double Score(const math::Vec& x) const override;
+  bool IsOutlier(const math::Vec& x) const override;
+
+  int rounds_used() const { return static_cast<int>(detectors_.size()); }
+  double threshold() const { return threshold_; }
+
+ private:
+  math::Vec Project(const math::Vec& x, const std::vector<int>& dims) const;
+
+  FeatureBaggingOptions options_;
+  std::vector<std::vector<int>> feature_sets_;
+  std::vector<std::unique_ptr<LofDetector>> detectors_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace gem::detect
+
+#endif  // GEM_DETECT_FEATURE_BAGGING_H_

@@ -1,0 +1,253 @@
+#include "detect/hbos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.h"
+
+#include "base/check.h"
+
+namespace gem::detect {
+namespace {
+
+constexpr double kLaplace = 0.5;
+
+}  // namespace
+
+Status HistogramModel::Fit(const std::vector<math::Vec>& data, int bins) {
+  if (data.empty()) {
+    return Status::InvalidArgument("no training data for histograms");
+  }
+  if (bins < 1) {
+    return Status::InvalidArgument("bin count must be >= 1");
+  }
+  bins_ = bins;
+  const int d = static_cast<int>(data[0].size());
+  lo_.assign(d, 0.0);
+  hi_.assign(d, 0.0);
+  for (int j = 0; j < d; ++j) {
+    double lo = data[0][j];
+    double hi = data[0][j];
+    for (const math::Vec& row : data) {
+      GEM_CHECK(static_cast<int>(row.size()) == d);
+      lo = std::min(lo, row[j]);
+      hi = std::max(hi, row[j]);
+    }
+    // Degenerate dimension: widen slightly so the single bin catches it.
+    if (hi <= lo) hi = lo + 1e-9;
+    lo_[j] = lo;
+    hi_[j] = hi;
+  }
+  counts_ = math::Matrix(d, bins_, 0.0);
+  data_ = data;
+  samples_ = 0;
+  for (const math::Vec& row : data) {
+    for (int j = 0; j < d; ++j) {
+      const int bin = BinIndex(j, row[j]);
+      GEM_DCHECK(bin >= 0);
+      counts_.At(j, bin) += 1.0;
+    }
+    ++samples_;
+  }
+  return Status::Ok();
+}
+
+void HistogramModel::RebuildDimension(int dim) {
+  for (int b = 0; b < bins_; ++b) counts_.At(dim, b) = 0.0;
+  for (const math::Vec& row : data_) {
+    const int bin = BinIndex(dim, row[dim]);
+    GEM_DCHECK(bin >= 0);
+    counts_.At(dim, bin) += 1.0;
+  }
+}
+
+int HistogramModel::BinIndex(int dim, double value) const {
+  if (value < lo_[dim] || value > hi_[dim]) return -1;
+  const double width = (hi_[dim] - lo_[dim]) / bins_;
+  int bin = static_cast<int>((value - lo_[dim]) / width);
+  return std::min(bin, bins_ - 1);
+}
+
+void HistogramModel::Add(const math::Vec& x) {
+  GEM_CHECK(static_cast<int>(x.size()) == dimensions());
+  data_.push_back(x);
+  ++samples_;
+  for (int j = 0; j < dimensions(); ++j) {
+    const int bin = BinIndex(j, x[j]);
+    if (bin >= 0) {
+      counts_.At(j, bin) += 1.0;
+    } else {
+      // Recalculate this dimension's histogram over the widened range
+      // (Section V-B: the new embedding recalculates the histograms).
+      lo_[j] = std::min(lo_[j], x[j]);
+      hi_[j] = std::max(hi_[j], x[j]);
+      RebuildDimension(j);
+    }
+  }
+}
+
+double HistogramModel::RawScore(const math::Vec& x) const {
+  GEM_CHECK(static_cast<int>(x.size()) == dimensions());
+  GEM_CHECK(samples_ > 0);
+  const double denom =
+      static_cast<double>(samples_) + kLaplace * bins_;
+  double score = 0.0;
+  for (int j = 0; j < dimensions(); ++j) {
+    const int bin = BinIndex(j, x[j]);
+    const double count = bin < 0 ? 0.0 : counts_.At(j, bin);
+    const double p = (count + kLaplace) / denom;
+    score += std::log(1.0 / p);
+  }
+  return score;
+}
+
+Status HbosDetector::Fit(const std::vector<math::Vec>& normal) {
+  Status status = model_.Fit(normal, options_.bins);
+  if (!status.ok()) return status;
+
+  math::Vec scores;
+  scores.reserve(normal.size());
+  for (const math::Vec& x : normal) scores.push_back(model_.RawScore(x));
+  score_lo_ = *std::min_element(scores.begin(), scores.end());
+  score_hi_ = *std::max_element(scores.begin(), scores.end());
+  if (score_hi_ <= score_lo_) score_hi_ = score_lo_ + 1e-9;
+
+  for (double& s : scores) s = Normalize(s);
+  threshold_ = ContaminationThreshold(scores, options_.contamination);
+  return Status::Ok();
+}
+
+double HbosDetector::Normalize(double raw) const {
+  return (raw - score_lo_) / (score_hi_ - score_lo_);
+}
+
+double HbosDetector::Score(const math::Vec& x) const {
+  return Normalize(model_.RawScore(x));
+}
+
+bool HbosDetector::IsOutlier(const math::Vec& x) const {
+  return Score(x) > threshold_;
+}
+
+namespace {
+
+double Logit(double p) { return std::log(p / (1.0 - p)); }
+
+}  // namespace
+
+EnhancedHbosDetector::EnhancedHbosDetector(EnhancedHbosOptions options)
+    : HbosDetector(HbosOptions{options.bins, 0.1}),
+      enhanced_options_(options) {
+  GEM_CHECK(options.temperature > 0.0);
+  GEM_CHECK(options.tau_lower <= options.tau_upper);
+  GEM_CHECK(options.tau_lower > 0.0 && options.tau_upper < 1.0);
+}
+
+Status EnhancedHbosDetector::Fit(const std::vector<math::Vec>& normal) {
+  Status status = HbosDetector::Fit(normal);
+  if (!status.ok()) return status;
+
+  if (enhanced_options_.auto_calibrate) {
+    // Estimate the normalized-score distribution of FRESH in-premises
+    // samples by k-fold cross-scoring: each contiguous fold (the data
+    // is time-ordered) is scored by an HBOS model fitted on the other
+    // folds, under that model's own min-max normalization. This
+    // captures the generalization gap that the training scores (which
+    // are at most 1 by construction) cannot show, and adapts to noisy
+    // or drifting environments where the gap is larger.
+    const int folds = std::min<int>(enhanced_options_.calibration_folds,
+                                    static_cast<int>(normal.size()));
+    const size_t n = normal.size();
+    // Two fold layouts bracket the failure modes: contiguous folds
+    // capture slow temporal drift (a fold is a stretch of time the
+    // other folds have not seen), strided folds capture regime
+    // switching (every fold model sees every regime). Each yields a
+    // tau estimate; their average is robust to both.
+    auto cv_tau = [&](bool contiguous, double* tau_low) {
+      math::Vec cv_scores;
+      cv_scores.reserve(n);
+      if (folds >= 2) {
+        for (int f = 0; f < folds; ++f) {
+          std::vector<math::Vec> rest;
+          std::vector<size_t> held;
+          for (size_t i = 0; i < n; ++i) {
+            const bool in_fold =
+                contiguous ? (i >= n * f / folds && i < n * (f + 1) / folds)
+                           : (i % folds == static_cast<size_t>(f));
+            if (in_fold) {
+              held.push_back(i);
+            } else {
+              rest.push_back(normal[i]);
+            }
+          }
+          HbosDetector fold_model(
+              HbosOptions{enhanced_options_.bins, 0.1});
+          if (!fold_model.Fit(rest).ok()) continue;
+          for (size_t i : held) {
+            cv_scores.push_back(fold_model.Score(normal[i]));
+          }
+        }
+      }
+      if (cv_scores.empty()) {
+        for (const math::Vec& x : normal) {
+          cv_scores.push_back(NormalizedScore(x));
+        }
+      }
+      const double p_up = math::Percentile(
+          cv_scores, enhanced_options_.calibration_upper_percentile);
+      const double p_mid = math::Percentile(cv_scores, 50.0);
+      *tau_low = math::Percentile(
+          cv_scores, enhanced_options_.calibration_lower_percentile);
+      return p_up + enhanced_options_.calibration_spread_factor *
+                        (p_up - p_mid);
+    };
+    double low_contig = 0.0;
+    double low_stride = 0.0;
+    const double tau_contig = cv_tau(true, &low_contig);
+    const double tau_stride = cv_tau(false, &low_stride);
+    hbar_tau_upper_ = 0.5 * (tau_contig + tau_stride);
+    hbar_tau_lower_ = 0.5 * (low_contig + low_stride);
+  } else {
+    // Invert Equation (10): S_T = sigmoid((2 Hbar - 1) / T).
+    hbar_tau_upper_ =
+        (1.0 + enhanced_options_.temperature *
+                   Logit(enhanced_options_.tau_upper)) / 2.0;
+    hbar_tau_lower_ =
+        (1.0 + enhanced_options_.temperature *
+                   Logit(enhanced_options_.tau_lower)) / 2.0;
+  }
+  return Status::Ok();
+}
+
+double EnhancedHbosDetector::NormalizedScore(const math::Vec& x) const {
+  return Normalize(model_.RawScore(x));
+}
+
+double EnhancedHbosDetector::Score(const math::Vec& x) const {
+  // Equation (10): S_T = exp(Hbar/T) / (exp(Hbar/T) + exp((1-Hbar)/T))
+  //              = sigmoid((2 Hbar - 1) / T).
+  const double hbar = Normalize(model_.RawScore(x));
+  const double z = (2.0 * hbar - 1.0) / enhanced_options_.temperature;
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+bool EnhancedHbosDetector::IsOutlier(const math::Vec& x) const {
+  // Equation (11), evaluated in Hbar space (identical decision).
+  return NormalizedScore(x) > hbar_tau_upper_;
+}
+
+bool EnhancedHbosDetector::MaybeUpdate(const math::Vec& x) {
+  if (NormalizedScore(x) >= hbar_tau_lower_) return false;
+  model_.Add(x);
+  // The normalization anchors stay frozen at their initial-training
+  // values: this is what makes the enhanced score independent of the
+  // growing data size (Section IV-C's criticism of the original
+  // threshold). Re-deriving min/max after each update would let the
+  // ever-densifying core stretch the scale and push fresh samples'
+  // scores upward.
+  return true;
+}
+
+}  // namespace gem::detect

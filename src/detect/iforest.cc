@@ -1,0 +1,132 @@
+#include "detect/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace gem::detect {
+namespace {
+
+/// Average path length of unsuccessful BST search over n points
+/// (the c(n) normalizer from the iForest paper).
+double AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double h = std::log(n - 1.0) + 0.5772156649015329;  // harmonic approx
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+}  // namespace
+
+int IsolationForest::BuildNode(Tree& tree, std::vector<int>& indices,
+                               int begin, int end, int depth,
+                               int height_limit,
+                               const std::vector<math::Vec>& data,
+                               math::Rng& rng) {
+  const int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  const int count = end - begin;
+  if (count <= 1 || depth >= height_limit) {
+    tree.nodes[node_id].size = count;
+    return node_id;
+  }
+  const int d = static_cast<int>(data[indices[begin]].size());
+
+  // Pick a dimension with spread; give up after a few attempts (all
+  // duplicates -> leaf).
+  int split_dim = -1;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (int attempt = 0; attempt < 8 && split_dim < 0; ++attempt) {
+    const int dim = rng.UniformInt(d);
+    lo = data[indices[begin]][dim];
+    hi = lo;
+    for (int i = begin; i < end; ++i) {
+      lo = std::min(lo, data[indices[i]][dim]);
+      hi = std::max(hi, data[indices[i]][dim]);
+    }
+    if (hi > lo) split_dim = dim;
+  }
+  if (split_dim < 0) {
+    tree.nodes[node_id].size = count;
+    return node_id;
+  }
+  const double split_value = rng.Uniform(lo, hi);
+  const auto middle = std::partition(
+      indices.begin() + begin, indices.begin() + end,
+      [&](int i) { return data[i][split_dim] < split_value; });
+  int mid = static_cast<int>(middle - indices.begin());
+  // A degenerate partition (all on one side) becomes a leaf.
+  if (mid == begin || mid == end) {
+    tree.nodes[node_id].size = count;
+    return node_id;
+  }
+  tree.nodes[node_id].split_dim = split_dim;
+  tree.nodes[node_id].split_value = split_value;
+  const int left = BuildNode(tree, indices, begin, mid, depth + 1,
+                             height_limit, data, rng);
+  const int right = BuildNode(tree, indices, mid, end, depth + 1,
+                              height_limit, data, rng);
+  tree.nodes[node_id].left = left;
+  tree.nodes[node_id].right = right;
+  return node_id;
+}
+
+Status IsolationForest::Fit(const std::vector<math::Vec>& normal) {
+  if (normal.empty()) {
+    return Status::InvalidArgument("no training data");
+  }
+  const int n = static_cast<int>(normal.size());
+  const int psi = std::min(options_.subsample, n);
+  const int height_limit =
+      static_cast<int>(std::ceil(std::log2(std::max(psi, 2))));
+  c_psi_ = AveragePathLength(psi);
+  math::Rng rng(options_.seed);
+
+  trees_.clear();
+  trees_.resize(options_.num_trees);
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  for (Tree& tree : trees_) {
+    std::vector<int> sample = all;
+    rng.Shuffle(sample);
+    sample.resize(psi);
+    BuildNode(tree, sample, 0, psi, 0, height_limit, normal, rng);
+  }
+
+  math::Vec scores;
+  scores.reserve(normal.size());
+  for (const math::Vec& x : normal) scores.push_back(Score(x));
+  threshold_ = ContaminationThreshold(scores, options_.contamination);
+  return Status::Ok();
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   const math::Vec& x) const {
+  int node_id = 0;
+  double depth = 0.0;
+  while (true) {
+    const Node& node = tree.nodes[node_id];
+    if (node.split_dim < 0) {
+      return depth + AveragePathLength(node.size);
+    }
+    node_id = x[node.split_dim] < node.split_value ? node.left : node.right;
+    depth += 1.0;
+  }
+}
+
+double IsolationForest::Score(const math::Vec& x) const {
+  GEM_CHECK(!trees_.empty());
+  double mean_path = 0.0;
+  for (const Tree& tree : trees_) mean_path += PathLength(tree, x);
+  mean_path /= static_cast<double>(trees_.size());
+  return std::pow(2.0, -mean_path / std::max(c_psi_, 1e-12));
+}
+
+bool IsolationForest::IsOutlier(const math::Vec& x) const {
+  return Score(x) > threshold_;
+}
+
+}  // namespace gem::detect

@@ -1,0 +1,57 @@
+#ifndef GEM_DETECT_IFOREST_H_
+#define GEM_DETECT_IFOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.h"
+#include "math/rng.h"
+
+namespace gem::detect {
+
+/// Isolation forest (Liu, Ting & Zhou, ICDM'08), the "BiSAGE +
+/// iForest" baseline of Table I. Outliers are isolated by fewer random
+/// axis-aligned splits; the anomaly score is 2^{-E[h(x)] / c(psi)}.
+struct IForestOptions {
+  int num_trees = 100;
+  int subsample = 256;
+  double contamination = 0.1;
+  uint64_t seed = 31;
+};
+
+class IsolationForest : public OutlierDetector {
+ public:
+  explicit IsolationForest(IForestOptions options = IForestOptions()) : options_(options) {}
+
+  Status Fit(const std::vector<math::Vec>& normal) override;
+  double Score(const math::Vec& x) const override;
+  bool IsOutlier(const math::Vec& x) const override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  struct Node {
+    int split_dim = -1;        // -1 marks a leaf
+    double split_value = 0.0;
+    int left = -1;
+    int right = -1;
+    int size = 0;              // leaf: samples that ended here
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(Tree& tree, std::vector<int>& indices, int begin, int end,
+                int depth, int height_limit,
+                const std::vector<math::Vec>& data, math::Rng& rng);
+  double PathLength(const Tree& tree, const math::Vec& x) const;
+
+  IForestOptions options_;
+  std::vector<Tree> trees_;
+  double c_psi_ = 1.0;  // average path length normalizer c(psi)
+  double threshold_ = 0.5;
+};
+
+}  // namespace gem::detect
+
+#endif  // GEM_DETECT_IFOREST_H_

@@ -1,0 +1,91 @@
+#include "detect/lof.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace gem::detect {
+
+Status LofDetector::Fit(const std::vector<math::Vec>& normal) {
+  if (static_cast<int>(normal.size()) < 3) {
+    return Status::InvalidArgument("LOF needs at least 3 training samples");
+  }
+  data_ = normal;
+  const int n = static_cast<int>(data_.size());
+  // k must leave at least one other point.
+  options_.k = std::min(options_.k, n - 1);
+
+  // k-distance and k-NN per training point (leave-one-out).
+  std::vector<KnnResult> knns(n);
+  k_distance_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    knns[i] = Knn(data_[i], i);
+    k_distance_[i] = knns[i].dists.back();
+  }
+
+  // Local reachability density per training point.
+  lrd_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t j = 0; j < knns[i].indices.size(); ++j) {
+      const int nb = knns[i].indices[j];
+      reach_sum += std::max(knns[i].dists[j], k_distance_[nb]);
+    }
+    lrd_[i] = knns[i].indices.size() / std::max(reach_sum, 1e-12);
+  }
+
+  // LOF of the training points themselves calibrates the threshold.
+  math::Vec scores(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double ratio_sum = 0.0;
+    for (const int nb : knns[i].indices) ratio_sum += lrd_[nb];
+    scores[i] = ratio_sum / (knns[i].indices.size() * lrd_[i]);
+  }
+  threshold_ = ContaminationThreshold(scores, options_.contamination);
+  return Status::Ok();
+}
+
+LofDetector::KnnResult LofDetector::Knn(const math::Vec& x,
+                                        int exclude) const {
+  const int n = static_cast<int>(data_.size());
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    dists.emplace_back(math::Distance(x, data_[i]), i);
+  }
+  const int k = std::min(options_.k, static_cast<int>(dists.size()));
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  KnnResult result;
+  result.indices.reserve(k);
+  result.dists.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    result.dists.push_back(dists[i].first);
+    result.indices.push_back(dists[i].second);
+  }
+  return result;
+}
+
+double LofDetector::ReachabilityDensity(const KnnResult& knn) const {
+  double reach_sum = 0.0;
+  for (size_t j = 0; j < knn.indices.size(); ++j) {
+    reach_sum += std::max(knn.dists[j], k_distance_[knn.indices[j]]);
+  }
+  return knn.indices.size() / std::max(reach_sum, 1e-12);
+}
+
+double LofDetector::Score(const math::Vec& x) const {
+  GEM_CHECK(!data_.empty());
+  const KnnResult knn = Knn(x, -1);
+  const double lrd_x = ReachabilityDensity(knn);
+  double ratio_sum = 0.0;
+  for (const int nb : knn.indices) ratio_sum += lrd_[nb];
+  return ratio_sum / (knn.indices.size() * std::max(lrd_x, 1e-12));
+}
+
+bool LofDetector::IsOutlier(const math::Vec& x) const {
+  return Score(x) > threshold_;
+}
+
+}  // namespace gem::detect

@@ -1,0 +1,51 @@
+#ifndef GEM_DETECT_LOF_H_
+#define GEM_DETECT_LOF_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace gem::detect {
+
+/// Local outlier factor (Breunig et al., SIGMOD'00), the "BiSAGE +
+/// LOF" baseline: a point is an outlier when its local density is much
+/// lower than its neighbors'. Also reused as the base detector inside
+/// feature bagging.
+struct LofOptions {
+  int k = 20;
+  double contamination = 0.1;
+};
+
+class LofDetector : public OutlierDetector {
+ public:
+  explicit LofDetector(LofOptions options = LofOptions()) : options_(options) {}
+
+  Status Fit(const std::vector<math::Vec>& normal) override;
+  /// LOF score of a query point w.r.t. the training set (~1 for
+  /// inliers, larger for outliers).
+  double Score(const math::Vec& x) const override;
+  bool IsOutlier(const math::Vec& x) const override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  struct KnnResult {
+    std::vector<int> indices;   // the k nearest training points
+    std::vector<double> dists;  // their distances, ascending
+  };
+
+  /// k-NN among training points; `exclude` skips one index (used for
+  /// leave-one-out scoring of the training points themselves).
+  KnnResult Knn(const math::Vec& x, int exclude) const;
+  double ReachabilityDensity(const KnnResult& knn) const;
+
+  LofOptions options_;
+  std::vector<math::Vec> data_;
+  math::Vec k_distance_;  // per training point
+  math::Vec lrd_;         // local reachability density per training point
+  double threshold_ = 1.5;
+};
+
+}  // namespace gem::detect
+
+#endif  // GEM_DETECT_LOF_H_

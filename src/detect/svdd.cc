@@ -1,0 +1,135 @@
+#include "detect/svdd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+
+namespace gem::detect {
+namespace {
+
+/// Projects v onto {0 <= a_i <= C, sum a = 1} by bisection on the
+/// shift theta in a_i = clamp(v_i - theta, 0, C).
+math::Vec ProjectBoxSimplex(const math::Vec& v, double cap) {
+  const auto mass = [&](double theta) {
+    double total = 0.0;
+    for (double x : v) total += std::clamp(x - theta, 0.0, cap);
+    return total;
+  };
+  double lo = -1.0;
+  double hi = 1.0;
+  for (double x : v) {
+    lo = std::min(lo, x - cap);
+    hi = std::max(hi, x);
+  }
+  // mass(lo) >= n*cap >= 1 (feasible), mass(hi) = 0.
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double theta = 0.5 * (lo + hi);
+  math::Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::clamp(v[i] - theta, 0.0, cap);
+  }
+  return out;
+}
+
+}  // namespace
+
+double SvddDetector::Kernel(const math::Vec& a, const math::Vec& b) const {
+  return std::exp(-gamma_used_ * math::SquaredDistance(a, b));
+}
+
+Status SvddDetector::Fit(const std::vector<math::Vec>& normal) {
+  if (normal.size() < 2) {
+    return Status::InvalidArgument("SVDD needs at least 2 samples");
+  }
+  data_ = normal;
+  const int n = static_cast<int>(data_.size());
+  const double cap = std::max(1.0 / (options_.nu * n), 1.0 / n);
+
+  // Median-distance heuristic for the kernel width.
+  if (options_.gamma > 0.0) {
+    gamma_used_ = options_.gamma;
+  } else {
+    math::Vec dists;
+    const int stride = std::max(1, n / 64);
+    for (int i = 0; i < n; i += stride) {
+      for (int j = i + stride; j < n; j += stride) {
+        dists.push_back(math::SquaredDistance(data_[i], data_[j]));
+      }
+    }
+    const double med = dists.empty() ? 1.0 : math::Percentile(dists, 50.0);
+    gamma_used_ = 1.0 / std::max(med, 1e-9);
+  }
+
+  // Gram matrix (n is a few hundred at most in GEM's pipelines).
+  math::Matrix k(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    k.At(i, i) = 1.0;
+    for (int j = i + 1; j < n; ++j) {
+      const double v = Kernel(data_[i], data_[j]);
+      k.At(i, j) = v;
+      k.At(j, i) = v;
+    }
+  }
+
+  alpha_.assign(n, 1.0 / n);
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // gradient of a'Ka - sum a_i (K_ii = 1): 2Ka - 1.
+    math::Vec grad = k.MatVec(alpha_);
+    for (double& g : grad) g = 2.0 * g - 1.0;
+    math::Vec next(n);
+    const double step = options_.step / (1.0 + 0.05 * iter);
+    for (int i = 0; i < n; ++i) next[i] = alpha_[i] - step * grad[i];
+    alpha_ = ProjectBoxSimplex(next, cap);
+  }
+
+  const math::Vec k_alpha = k.MatVec(alpha_);
+  alpha_k_alpha_ = math::Dot(alpha_, k_alpha);
+
+  // R^2 such that a nu-fraction of the training data falls outside
+  // the sphere. (The textbook estimate — the distance of a boundary
+  // support vector with 0 < a < C — is exact only at the optimum; the
+  // quantile form gives the same sphere there and stays calibrated
+  // under finite-iteration solves.)
+  math::Vec dist2(n);
+  for (int i = 0; i < n; ++i) {
+    dist2[i] = 1.0 - 2.0 * k_alpha[i] + alpha_k_alpha_;
+  }
+  r2_ = math::Percentile(dist2, 100.0 * (1.0 - options_.nu));
+  return Status::Ok();
+}
+
+double SvddDetector::CenterDistanceSquared(const math::Vec& x) const {
+  double cross = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (alpha_[i] <= 1e-10) continue;
+    cross += alpha_[i] * Kernel(x, data_[i]);
+  }
+  return 1.0 - 2.0 * cross + alpha_k_alpha_;
+}
+
+double SvddDetector::Score(const math::Vec& x) const {
+  GEM_CHECK(!data_.empty());
+  return CenterDistanceSquared(x) - r2_;
+}
+
+bool SvddDetector::IsOutlier(const math::Vec& x) const {
+  return Score(x) > 0.0;
+}
+
+int SvddDetector::num_support_vectors() const {
+  int count = 0;
+  for (double a : alpha_) count += a > 1e-8 ? 1 : 0;
+  return count;
+}
+
+}  // namespace gem::detect

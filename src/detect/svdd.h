@@ -1,0 +1,53 @@
+#ifndef GEM_DETECT_SVDD_H_
+#define GEM_DETECT_SVDD_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace gem::detect {
+
+/// Support vector data description (Tax & Duin, 2004): the minimum
+/// enclosing hypersphere in RBF feature space. The core of the INOA
+/// baseline. Solved in the dual by projected gradient descent on
+///   min_a a' K a - sum_i a_i K_ii   s.t. 0 <= a_i <= C, sum a = 1,
+/// with C = 1 / (nu * n).
+struct SvddOptions {
+  /// RBF kernel width: K(x,y) = exp(-gamma ||x-y||^2). gamma <= 0
+  /// selects the median-distance heuristic.
+  double gamma = -1.0;
+  /// Fraction of training samples allowed outside the sphere.
+  double nu = 0.1;
+  int iterations = 300;
+  double step = 0.5;
+};
+
+class SvddDetector : public OutlierDetector {
+ public:
+  explicit SvddDetector(SvddOptions options = SvddOptions()) : options_(options) {}
+
+  Status Fit(const std::vector<math::Vec>& normal) override;
+  /// Squared feature-space distance to the center minus R^2
+  /// (positive outside the sphere).
+  double Score(const math::Vec& x) const override;
+  bool IsOutlier(const math::Vec& x) const override;
+
+  int num_support_vectors() const;
+  double radius_squared() const { return r2_; }
+
+ private:
+  double Kernel(const math::Vec& a, const math::Vec& b) const;
+  /// Squared distance to the sphere center in feature space.
+  double CenterDistanceSquared(const math::Vec& x) const;
+
+  SvddOptions options_;
+  double gamma_used_ = 1.0;
+  std::vector<math::Vec> data_;
+  math::Vec alpha_;
+  double alpha_k_alpha_ = 0.0;  // a' K a, cached
+  double r2_ = 0.0;
+};
+
+}  // namespace gem::detect
+
+#endif  // GEM_DETECT_SVDD_H_

@@ -1,0 +1,386 @@
+#include "embed/bisage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "math/vec.h"
+
+namespace gem::embed {
+namespace {
+
+/// Memoization key for (node, layer) pairs.
+long MemoKey(graph::NodeId node, int layer, int num_layers) {
+  return static_cast<long>(node) * (num_layers + 1) + layer;
+}
+
+/// Normalized aggregation coefficients of a sampled neighbor multiset
+/// (the paper's weighted aggregator; uniform under the ablation).
+math::Vec AggregationCoeffs(const std::vector<graph::Neighbor>& sampled,
+                            bool use_edge_weights) {
+  math::Vec coeffs(sampled.size());
+  if (!use_edge_weights) {
+    std::fill(coeffs.begin(), coeffs.end(),
+              1.0 / static_cast<double>(sampled.size()));
+    return coeffs;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    coeffs[i] = sampled[i].weight;
+    total += sampled[i].weight;
+  }
+  if (total <= 0.0) {
+    std::fill(coeffs.begin(), coeffs.end(),
+              1.0 / static_cast<double>(sampled.size()));
+  } else {
+    for (double& c : coeffs) c /= total;
+  }
+  return coeffs;
+}
+
+/// Uniform with-replacement neighbor draw (ablation of the
+/// weight-proportional sampling).
+std::vector<graph::Neighbor> SampleUniform(const graph::BipartiteGraph& graph,
+                                           graph::NodeId node, int count,
+                                           math::Rng& rng) {
+  std::vector<graph::Neighbor> sampled;
+  const auto& adj = graph.neighbors(node);
+  if (adj.empty()) return sampled;
+  sampled.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    sampled.push_back(adj[rng.UniformInt(static_cast<int>(adj.size()))]);
+  }
+  return sampled;
+}
+
+}  // namespace
+
+BiSage::BiSage(BiSageConfig config)
+    : config_(std::move(config)), init_rng_(config_.seed ^ 0xB15A6EULL) {
+  GEM_CHECK(config_.dimension > 0);
+  GEM_CHECK(config_.num_layers >= 1);
+  GEM_CHECK(static_cast<int>(config_.fanouts.size()) == config_.num_layers);
+  if (config_.inference_fanouts.empty()) {
+    config_.inference_fanouts = config_.fanouts;
+  }
+  GEM_CHECK(static_cast<int>(config_.inference_fanouts.size()) ==
+            config_.num_layers);
+  const int d = config_.dimension;
+  h_table_ = math::Matrix(0, d);
+  l_table_ = math::Matrix(0, d);
+  math::AdamOptions adam_options;
+  adam_options.learning_rate = config_.learning_rate;
+  adam_ = std::make_unique<math::Adam>(adam_options);
+
+  math::Rng weight_rng(config_.seed);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    w_h_.push_back(std::make_unique<math::Parameter>(d, 2 * d));
+    w_l_.push_back(std::make_unique<math::Parameter>(d, 2 * d));
+    w_h_.back()->value.FillGlorot(weight_rng);
+    w_l_.back()->value.FillGlorot(weight_rng);
+    adam_->Register(w_h_.back().get());
+    adam_->Register(w_l_.back().get());
+  }
+}
+
+void BiSage::EnsureCapacity(const graph::BipartiteGraph& graph,
+                            int count) const {
+  const int d = config_.dimension;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  while (h_table_.rows() < count) {
+    const graph::NodeId node = h_table_.rows();
+    math::Vec h_row(d, 0.0);
+    math::Vec l_row(d, 0.0);
+    // MAC nodes carry fixed random features — their identity in the
+    // embedding space. Record nodes start at zero: a record's identity
+    // is entirely its (weighted) MAC membership, so training and the
+    // inductive embedding of future records see exactly the same input
+    // distribution. (A per-record random h^0 would be pure noise in
+    // the self half of the CONCAT of Equations (4)/(6).)
+    if (node >= graph.num_nodes() ||
+        graph.type(node) == graph::NodeType::kMac) {
+      for (int i = 0; i < d; ++i) {
+        h_row[i] = init_rng_.Uniform(-scale, scale);
+        l_row[i] = init_rng_.Uniform(-scale, scale);
+      }
+    }
+    h_table_.AppendRow(h_row);
+    l_table_.AppendRow(l_row);
+  }
+}
+
+BiSage::NodeVars BiSage::BuildNodeVars(
+    math::Tape& tape, const graph::BipartiteGraph& graph,
+    graph::NodeId node, int layer, math::Rng& rng,
+    std::unordered_map<long, NodeVars>& memo,
+    std::vector<std::pair<graph::NodeId, NodeVars>>* leaves) const {
+  const long key = MemoKey(node, layer, config_.num_layers);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  NodeVars vars;
+  if (layer == 0) {
+    vars.h = tape.Leaf(h_table_.Row(node));
+    vars.l = tape.Leaf(l_table_.Row(node));
+    leaves->emplace_back(node, vars);
+  } else {
+    const NodeVars self = BuildNodeVars(tape, graph, node, layer - 1, rng,
+                                        memo, leaves);
+    const int fanout = config_.fanouts[config_.num_layers - layer];
+    const std::vector<graph::Neighbor> sampled =
+        config_.use_edge_weights ? graph.SampleNeighbors(node, fanout, rng)
+                                 : SampleUniform(graph, node, fanout, rng);
+
+    math::VarId h_agg;
+    math::VarId l_agg;
+    if (sampled.empty()) {
+      // Isolated node: aggregate nothing; the update still mixes the
+      // node's own lower-layer embedding through the weight matrix.
+      const math::Vec zeros(config_.dimension, 0.0);
+      h_agg = tape.Leaf(zeros);
+      l_agg = tape.Leaf(zeros);
+    } else {
+      const math::Vec coeffs =
+          AggregationCoeffs(sampled, config_.use_edge_weights);
+      std::vector<math::VarId> neighbor_l;
+      std::vector<math::VarId> neighbor_h;
+      neighbor_l.reserve(sampled.size());
+      neighbor_h.reserve(sampled.size());
+      for (const graph::Neighbor& nb : sampled) {
+        const NodeVars child = BuildNodeVars(tape, graph, nb.node, layer - 1,
+                                             rng, memo, leaves);
+        neighbor_l.push_back(child.l);
+        neighbor_h.push_back(child.h);
+      }
+      // Equation (3): primary aggregates neighbors' auxiliaries.
+      h_agg = tape.WeightedSum(neighbor_l, coeffs);
+      // Equation (5): auxiliary aggregates neighbors' primaries.
+      l_agg = tape.WeightedSum(neighbor_h, coeffs);
+    }
+    // Equations (4), (6), (7). The top layer is linear (no ReLU):
+    // a ReLU there would confine embeddings to the positive orthant,
+    // making the negative terms of Equation (8) unsatisfiable.
+    const math::VarId h_lin =
+        tape.MatVec(w_h_[layer - 1].get(), tape.Concat(self.h, h_agg));
+    const math::VarId l_lin =
+        tape.MatVec(w_l_[layer - 1].get(), tape.Concat(self.l, l_agg));
+    if (layer == config_.num_layers) {
+      vars.h = tape.L2Normalize(h_lin);
+      vars.l = tape.L2Normalize(l_lin);
+    } else {
+      vars.h = tape.L2Normalize(tape.Relu(h_lin));
+      vars.l = tape.L2Normalize(tape.Relu(l_lin));
+    }
+  }
+  memo.emplace(key, vars);
+  return vars;
+}
+
+Status BiSage::Train(const graph::BipartiteGraph& graph) {
+  if (graph.num_nodes() == 0) {
+    return Status::FailedPrecondition("graph is empty");
+  }
+  EnsureCapacity(graph, graph.num_nodes());
+  math::Rng rng(config_.seed);
+
+  // Generate the training pairs from weighted random walks: every
+  // consecutive (x, y) in a walk is a positive pair. Walks start from
+  // record nodes only — the loss of Equation (8) is symmetric in
+  // (x, y) and walks alternate sides, so every MAC node on a walk
+  // still contributes pairs, at half the walk budget.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId node = 0; node < graph.num_nodes(); ++node) {
+    if (graph.type(node) != graph::NodeType::kRecord) continue;
+    if (graph.degree(node) == 0) continue;
+    for (int w = 0; w < config_.walks_per_node; ++w) {
+      std::vector<graph::NodeId> walk;
+      if (config_.use_edge_weights) {
+        walk = graph.RandomWalk(node, config_.walk_length, rng);
+      } else {
+        walk.push_back(node);
+        graph::NodeId current = node;
+        for (int step = 0; step < config_.walk_length; ++step) {
+          const auto& adj = graph.neighbors(current);
+          if (adj.empty()) break;
+          current = adj[rng.UniformInt(static_cast<int>(adj.size()))].node;
+          walk.push_back(current);
+        }
+      }
+      for (size_t i = 0; i + 1 < walk.size(); ++i) {
+        pairs.emplace_back(walk[i], walk[i + 1]);
+      }
+    }
+  }
+  if (pairs.empty()) {
+    return Status::FailedPrecondition("graph has no edges to walk");
+  }
+
+  math::Tape tape;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    double epoch_loss = 0.0;
+    long loss_terms = 0;
+
+    size_t index = 0;
+    while (index < pairs.size()) {
+      tape.Clear();
+      std::unordered_map<long, NodeVars> memo;
+      std::vector<std::pair<graph::NodeId, NodeVars>> leaves;
+      const size_t end = std::min(
+          pairs.size(), index + static_cast<size_t>(config_.batch_pairs));
+      for (; index < end; ++index) {
+        const auto [x, y] = pairs[index];
+        const NodeVars vx = BuildNodeVars(tape, graph, x, config_.num_layers,
+                                          rng, memo, &leaves);
+        const NodeVars vy = BuildNodeVars(tape, graph, y, config_.num_layers,
+                                          rng, memo, &leaves);
+        // Positive part of Equation (8).
+        epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.h, vy.l), +1.0);
+        epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.l, vy.h), +1.0);
+        loss_terms += 2;
+        // Negative part: K_N nodes drawn ~ deg^{3/4}.
+        for (int n = 0; n < config_.num_negatives; ++n) {
+          const graph::NodeId z = graph.SampleNegative(rng);
+          const NodeVars vz = BuildNodeVars(tape, graph, z,
+                                            config_.num_layers, rng, memo,
+                                            &leaves);
+          epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.h, vz.l), -1.0);
+          epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.l, vz.h), -1.0);
+          loss_terms += 2;
+        }
+      }
+      tape.Backward();
+      adam_->Step();
+    }
+    last_epoch_loss_ = epoch_loss / static_cast<double>(loss_terms);
+  }
+  trained_ = true;
+  trained_nodes_ = graph.num_nodes();
+  return Status::Ok();
+}
+
+BiSage::HL BiSage::InferNode(const graph::BipartiteGraph& graph,
+                             graph::NodeId node, int layer, math::Rng& rng,
+                             std::unordered_map<long, HL>& memo) const {
+  const long key = MemoKey(node, layer, config_.num_layers);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  HL out;
+  if (layer == 0) {
+    out.h = h_table_.Row(node);
+    out.l = l_table_.Row(node);
+  } else {
+    const HL self = InferNode(graph, node, layer - 1, rng, memo);
+    const int fanout = config_.inference_fanouts[config_.num_layers - layer];
+    // fanout <= 0 selects the full neighborhood with exact weights:
+    // a deterministic, variance-free aggregation for inference.
+    std::vector<graph::Neighbor> sampled =
+        fanout <= 0
+            ? graph.neighbors(node)
+            : (config_.use_edge_weights
+                   ? graph.SampleNeighbors(node, fanout, rng)
+                   : SampleUniform(graph, node, fanout, rng));
+    // Drop MAC neighbors the model cannot interpret: singletons
+    // (degree < min_mac_degree, e.g. a passer-by's phone — no
+    // relational information) and MACs first seen after training
+    // (their random features never passed through the learned weight
+    // matrices, so they would only inject noise into embeddings the
+    // detector was calibrated on).
+    sampled.erase(
+        std::remove_if(sampled.begin(), sampled.end(),
+                       [&](const graph::Neighbor& nb) {
+                         if (graph.type(nb.node) !=
+                             graph::NodeType::kMac) {
+                           return false;
+                         }
+                         if (nb.node >= trained_nodes_) return true;
+                         return config_.min_mac_degree > 1 &&
+                                graph.degree(nb.node) <
+                                    config_.min_mac_degree;
+                       }),
+        sampled.end());
+
+    math::Vec h_agg(config_.dimension, 0.0);
+    math::Vec l_agg(config_.dimension, 0.0);
+    if (!sampled.empty()) {
+      const math::Vec coeffs =
+          AggregationCoeffs(sampled, config_.use_edge_weights);
+      for (size_t i = 0; i < sampled.size(); ++i) {
+        const HL child =
+            InferNode(graph, sampled[i].node, layer - 1, rng, memo);
+        math::AddScaled(h_agg, child.l, coeffs[i]);
+        math::AddScaled(l_agg, child.h, coeffs[i]);
+      }
+    }
+    math::Vec h_in = math::Concat(self.h, h_agg);
+    math::Vec l_in = math::Concat(self.l, l_agg);
+    out.h = w_h_[layer - 1]->value.MatVec(h_in);
+    out.l = w_l_[layer - 1]->value.MatVec(l_in);
+    if (layer != config_.num_layers) {  // linear top layer (see training)
+      for (double& v : out.h) v = v > 0.0 ? v : 0.0;
+      for (double& v : out.l) v = v > 0.0 ? v : 0.0;
+    }
+    math::NormalizeL2(out.h);
+    math::NormalizeL2(out.l);
+  }
+  memo.emplace(key, out);
+  return out;
+}
+
+math::Vec BiSage::PrimaryEmbedding(const graph::BipartiteGraph& graph,
+                                   graph::NodeId node) const {
+  GEM_CHECK(node >= 0 && node < graph.num_nodes());
+  EnsureCapacity(graph, graph.num_nodes());
+  // Per-node deterministic sampling stream so repeated queries agree.
+  math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                (static_cast<uint64_t>(node) + 1)));
+  std::unordered_map<long, HL> memo;
+  return InferNode(graph, node, config_.num_layers, rng, memo).h;
+}
+
+math::Vec BiSage::AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
+                                     graph::NodeId node) const {
+  GEM_CHECK(node >= 0 && node < graph.num_nodes());
+  EnsureCapacity(graph, graph.num_nodes());
+  math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                (static_cast<uint64_t>(node) + 1)));
+  std::unordered_map<long, HL> memo;
+  return InferNode(graph, node, config_.num_layers, rng, memo).l;
+}
+
+BiSageEmbedder::BiSageEmbedder(BiSageConfig config,
+                               graph::EdgeWeightConfig weight_config)
+    : graph_(weight_config), model_(std::move(config)) {}
+
+Status BiSageEmbedder::Fit(const std::vector<rf::ScanRecord>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("no training records");
+  }
+  train_nodes_.clear();
+  train_nodes_.reserve(train.size());
+  for (const rf::ScanRecord& record : train) {
+    train_nodes_.push_back(graph_.AddRecord(record));
+  }
+  num_train_ = static_cast<int>(train.size());
+  return model_.Train(graph_);
+}
+
+math::Vec BiSageEmbedder::TrainEmbedding(int i) const {
+  GEM_CHECK(i >= 0 && i < num_train_);
+  return model_.PrimaryEmbedding(graph_, train_nodes_[i]);
+}
+
+std::optional<math::Vec> BiSageEmbedder::EmbedNew(
+    const rf::ScanRecord& record) {
+  GEM_CHECK(model_.trained());
+  // Paper footnote 3: a record sharing no MAC with the graph is an
+  // outlier outright (and per Section V-A the record is still added,
+  // so its MACs become known for later arrivals).
+  const bool connected = graph_.CountKnownMacs(record) > 0;
+  const graph::NodeId node = graph_.AddRecord(record);
+  if (!connected) return std::nullopt;
+  return model_.PrimaryEmbedding(graph_, node);
+}
+
+}  // namespace gem::embed

@@ -1,0 +1,163 @@
+#ifndef GEM_EMBED_BISAGE_H_
+#define GEM_EMBED_BISAGE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "embed/embedder.h"
+#include "graph/bipartite_graph.h"
+#include "math/autograd.h"
+#include "math/optimizer.h"
+#include "math/rng.h"
+
+namespace gem::embed {
+
+/// Hyperparameters of BiSAGE (Section IV-B). Defaults follow the
+/// paper's tuned values (d = 32, lr = 0.003, K_N = 4) with sampling
+/// and epoch sizes chosen so a full training run takes a couple of
+/// seconds on one core.
+struct BiSageConfig {
+  int dimension = 32;
+  /// K: number of aggregation layers.
+  int num_layers = 2;
+  /// Per-layer neighborhood sample sizes, outermost layer first
+  /// (fanouts[0] neighbors of the target, fanouts[1] of each of those).
+  std::vector<int> fanouts = {6, 4};
+  int walks_per_node = 2;
+  int walk_length = 5;
+  int epochs = 4;
+  /// K_N in Equation (8).
+  int num_negatives = 4;
+  double learning_rate = 0.003;
+  /// Training pairs accumulated per optimizer step.
+  int batch_pairs = 16;
+  /// Per-layer sample sizes used at inference time. A value <= 0
+  /// aggregates the FULL neighborhood with exact normalized weights —
+  /// deterministic, variance-free embeddings (the default).
+  std::vector<int> inference_fanouts = {0, 0};
+  /// Ablation switch: false replaces the weight-proportional neighbor
+  /// sampling, weighted aggregation coefficients, and weighted random
+  /// walks with uniform ones (the bi-level aggregation is kept). Used
+  /// by the ablation bench to isolate the value of Section IV-B's
+  /// non-uniform sampling.
+  bool use_edge_weights = true;
+  /// Inference-time aggregation skips MAC nodes with degree below
+  /// this. A MAC seen in a single record ever (e.g., a passer-by's
+  /// phone) has no relational information — its fixed random feature
+  /// is pure noise — so it is excluded until it recurs. Set to 1 to
+  /// disable the filter.
+  int min_mac_degree = 2;
+  uint64_t seed = 13;
+};
+
+/// BiSAGE: inductive bipartite network embedding with bi-level
+/// aggregation (paired primary/auxiliary embeddings per node),
+/// weight-proportional neighborhood sampling, weighted random walks,
+/// and the negative-sampling loss of Equation (8).
+///
+/// Following the paper, the learnable parameters are the per-layer
+/// weight matrices {W_h^k}, {W_l^k}; the initial embeddings (h^0, l^0)
+/// are fixed at creation ("chosen randomly"). MAC nodes carry fixed
+/// random feature vectors (their identity); record nodes start at zero
+/// so that a record's embedding is a pure function of its weighted MAC
+/// membership — which is what makes the inductive embedding of brand-
+/// new records (Section V-A) consistent with training.
+class BiSage {
+ public:
+  explicit BiSage(BiSageConfig config);
+
+  /// Trains the weight matrices on the graph; the graph must contain
+  /// at least one edge. Can be called again after the graph grows to
+  /// fine-tune (not required for inference).
+  Status Train(const graph::BipartiteGraph& graph);
+
+  /// Primary embedding h^K of a node via K rounds of bi-level
+  /// aggregation with the learned weights. Nodes unseen at Train()
+  /// time are initialized on first touch. Deterministic given the
+  /// node's sampled neighborhoods (internally seeded per node).
+  math::Vec PrimaryEmbedding(const graph::BipartiteGraph& graph,
+                             graph::NodeId node) const;
+
+  /// Auxiliary embedding l^K (used by tests and diagnostics).
+  math::Vec AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
+                               graph::NodeId node) const;
+
+  /// Mean training loss of the last epoch (diagnostic).
+  double last_epoch_loss() const { return last_epoch_loss_; }
+  const BiSageConfig& config() const { return config_; }
+  bool trained() const { return trained_; }
+
+ private:
+  struct NodeVars {
+    math::VarId h;
+    math::VarId l;
+  };
+
+  /// Grows the fixed initial-embedding tables to cover node ids
+  /// < count (random rows for MAC nodes, zero rows for record nodes).
+  void EnsureCapacity(const graph::BipartiteGraph& graph, int count) const;
+
+  /// Builds the (h^k, l^k) computation for `node` on the tape,
+  /// memoized per (node, layer) within the current batch.
+  NodeVars BuildNodeVars(math::Tape& tape,
+                         const graph::BipartiteGraph& graph,
+                         graph::NodeId node, int layer, math::Rng& rng,
+                         std::unordered_map<long, NodeVars>& memo,
+                         std::vector<std::pair<graph::NodeId, NodeVars>>*
+                             leaves) const;
+
+  /// Inference-time (no-grad) forward pass, memoized.
+  struct HL {
+    math::Vec h;
+    math::Vec l;
+  };
+  HL InferNode(const graph::BipartiteGraph& graph, graph::NodeId node,
+               int layer, math::Rng& rng,
+               std::unordered_map<long, HL>& memo) const;
+
+  BiSageConfig config_;
+  // Fixed initial embeddings; mutable so inference can lazily append
+  // rows for nodes that joined the graph after training.
+  mutable math::Matrix h_table_;
+  mutable math::Matrix l_table_;
+  mutable math::Rng init_rng_;
+  /// Node count when Train() last ran: MAC nodes added later carry
+  /// features the weight matrices never saw, so inference aggregation
+  /// skips them (they still count toward graph connectivity).
+  int trained_nodes_ = 0;
+  std::vector<std::unique_ptr<math::Parameter>> w_h_;
+  std::vector<std::unique_ptr<math::Parameter>> w_l_;
+  std::unique_ptr<math::Adam> adam_;
+  double last_epoch_loss_ = 0.0;
+  bool trained_ = false;
+};
+
+/// RecordEmbedder adapter: owns a BipartiteGraph + BiSage, maps
+/// records to graph nodes, and adds new records to the graph at
+/// EmbedNew time.
+class BiSageEmbedder : public RecordEmbedder {
+ public:
+  explicit BiSageEmbedder(BiSageConfig config = {},
+                          graph::EdgeWeightConfig weight_config = {});
+
+  Status Fit(const std::vector<rf::ScanRecord>& train) override;
+  math::Vec TrainEmbedding(int i) const override;
+  int num_train() const override { return num_train_; }
+  std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
+  int dimension() const override { return model_.config().dimension; }
+
+  const graph::BipartiteGraph& graph() const { return graph_; }
+  BiSage& model() { return model_; }
+
+ private:
+  graph::BipartiteGraph graph_;
+  BiSage model_;
+  std::vector<graph::NodeId> train_nodes_;
+  int num_train_ = 0;
+};
+
+}  // namespace gem::embed
+
+#endif  // GEM_EMBED_BISAGE_H_

@@ -1,0 +1,259 @@
+#include "embed/graphsage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "math/vec.h"
+
+namespace gem::embed {
+namespace {
+
+long MemoKey(graph::NodeId node, int layer, int num_layers) {
+  return static_cast<long>(node) * (num_layers + 1) + layer;
+}
+
+}  // namespace
+
+GraphSage::GraphSage(GraphSageConfig config)
+    : config_(std::move(config)), init_rng_(config_.seed ^ 0x6A5E0ULL) {
+  GEM_CHECK(config_.dimension > 0);
+  GEM_CHECK(static_cast<int>(config_.fanouts.size()) == config_.num_layers);
+  table_ = math::Matrix(0, config_.dimension);
+  math::AdamOptions adam_options;
+  adam_options.learning_rate = config_.learning_rate;
+  table_adam_ = std::make_unique<math::RowAdam>(0, config_.dimension,
+                                                adam_options);
+  adam_ = std::make_unique<math::Adam>(adam_options);
+  math::Rng weight_rng(config_.seed);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    weights_.push_back(std::make_unique<math::Parameter>(
+        config_.dimension, 2 * config_.dimension));
+    weights_.back()->value.FillGlorot(weight_rng);
+    adam_->Register(weights_.back().get());
+  }
+}
+
+void GraphSage::EnsureCapacity(const graph::BipartiteGraph& graph,
+                               int count) const {
+  const int d = config_.dimension;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  while (table_.rows() < count) {
+    const graph::NodeId node = table_.rows();
+    math::Vec row(d, 0.0);
+    // Same input convention as BiSAGE: MAC nodes carry fixed random
+    // identity features, record nodes derive everything from their
+    // neighborhoods (a random record feature would be pure noise for
+    // inductive inference).
+    if (node >= graph.num_nodes() ||
+        graph.type(node) == graph::NodeType::kMac) {
+      for (int i = 0; i < d; ++i) row[i] = init_rng_.Uniform(-scale, scale);
+    }
+    table_.AppendRow(row);
+  }
+  table_adam_->Resize(table_.rows());
+}
+
+std::vector<graph::NodeId> GraphSage::SampleUniformNeighbors(
+    const graph::BipartiteGraph& graph, graph::NodeId node, int count,
+    math::Rng& rng) const {
+  std::vector<graph::NodeId> sampled;
+  const auto& adj = graph.neighbors(node);
+  if (adj.empty()) return sampled;
+  sampled.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    sampled.push_back(adj[rng.UniformInt(static_cast<int>(adj.size()))].node);
+  }
+  return sampled;
+}
+
+math::VarId GraphSage::BuildNodeVar(
+    math::Tape& tape, const graph::BipartiteGraph& graph,
+    graph::NodeId node, int layer, math::Rng& rng,
+    std::unordered_map<long, math::VarId>& memo,
+    std::vector<std::pair<graph::NodeId, math::VarId>>* leaves) const {
+  const long key = MemoKey(node, layer, config_.num_layers);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  math::VarId var;
+  if (layer == 0) {
+    var = tape.Leaf(table_.Row(node));
+    leaves->emplace_back(node, var);
+  } else {
+    const math::VarId self =
+        BuildNodeVar(tape, graph, node, layer - 1, rng, memo, leaves);
+    const int fanout = config_.fanouts[config_.num_layers - layer];
+    const std::vector<graph::NodeId> sampled =
+        SampleUniformNeighbors(graph, node, fanout, rng);
+    math::VarId agg;
+    if (sampled.empty()) {
+      agg = tape.Leaf(math::Vec(config_.dimension, 0.0));
+    } else {
+      std::vector<math::VarId> children;
+      children.reserve(sampled.size());
+      for (const graph::NodeId nb : sampled) {
+        children.push_back(
+            BuildNodeVar(tape, graph, nb, layer - 1, rng, memo, leaves));
+      }
+      // MEAN aggregator.
+      const math::Vec coeffs(children.size(),
+                             1.0 / static_cast<double>(children.size()));
+      agg = tape.WeightedSum(children, coeffs);
+    }
+    // Linear top layer (no ReLU), matching BiSAGE: keeps embeddings
+    // from collapsing into the positive orthant.
+    const math::VarId lin =
+        tape.MatVec(weights_[layer - 1].get(), tape.Concat(self, agg));
+    var = layer == config_.num_layers ? tape.L2Normalize(lin)
+                                      : tape.L2Normalize(tape.Relu(lin));
+  }
+  memo.emplace(key, var);
+  return var;
+}
+
+Status GraphSage::Train(const graph::BipartiteGraph& graph) {
+  if (graph.num_nodes() == 0) {
+    return Status::FailedPrecondition("graph is empty");
+  }
+  EnsureCapacity(graph, graph.num_nodes());
+  math::Rng rng(config_.seed);
+
+  // Uniform random walks (homogeneous treatment).
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId node = 0; node < graph.num_nodes(); ++node) {
+    if (graph.degree(node) == 0) continue;
+    for (int w = 0; w < config_.walks_per_node; ++w) {
+      graph::NodeId current = node;
+      for (int step = 0; step < config_.walk_length; ++step) {
+        const auto& adj = graph.neighbors(current);
+        if (adj.empty()) break;
+        const graph::NodeId next =
+            adj[rng.UniformInt(static_cast<int>(adj.size()))].node;
+        pairs.emplace_back(current, next);
+        current = next;
+      }
+    }
+  }
+  if (pairs.empty()) {
+    return Status::FailedPrecondition("graph has no edges to walk");
+  }
+
+  math::Tape tape;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    double epoch_loss = 0.0;
+    long loss_terms = 0;
+    size_t index = 0;
+    while (index < pairs.size()) {
+      tape.Clear();
+      std::unordered_map<long, math::VarId> memo;
+      std::vector<std::pair<graph::NodeId, math::VarId>> leaves;
+      const size_t end = std::min(
+          pairs.size(), index + static_cast<size_t>(config_.batch_pairs));
+      for (; index < end; ++index) {
+        const auto [x, y] = pairs[index];
+        const math::VarId vx = BuildNodeVar(tape, graph, x,
+                                            config_.num_layers, rng, memo,
+                                            &leaves);
+        const math::VarId vy = BuildNodeVar(tape, graph, y,
+                                            config_.num_layers, rng, memo,
+                                            &leaves);
+        epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx, vy), +1.0);
+        ++loss_terms;
+        for (int n = 0; n < config_.num_negatives; ++n) {
+          const graph::NodeId z = graph.SampleNegative(rng);
+          const math::VarId vz = BuildNodeVar(tape, graph, z,
+                                              config_.num_layers, rng, memo,
+                                              &leaves);
+          epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx, vz), -1.0);
+          ++loss_terms;
+        }
+      }
+      tape.Backward();
+      adam_->Step();
+    }
+    last_epoch_loss_ = epoch_loss / static_cast<double>(loss_terms);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+math::Vec GraphSage::InferNode(const graph::BipartiteGraph& graph,
+                               graph::NodeId node, int layer,
+                               math::Rng& rng,
+                               std::unordered_map<long, math::Vec>& memo) const {
+  const long key = MemoKey(node, layer, config_.num_layers);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  math::Vec out;
+  if (layer == 0) {
+    out = table_.Row(node);
+  } else {
+    const math::Vec self = InferNode(graph, node, layer - 1, rng, memo);
+    // Full-neighborhood MEAN at inference (uniform weights — the
+    // homogeneous treatment ignores edge weights by design).
+    std::vector<graph::NodeId> sampled;
+    for (const graph::Neighbor& nb : graph.neighbors(node)) {
+      sampled.push_back(nb.node);
+    }
+    math::Vec agg(config_.dimension, 0.0);
+    if (!sampled.empty()) {
+      const double coeff = 1.0 / static_cast<double>(sampled.size());
+      for (const graph::NodeId nb : sampled) {
+        math::AddScaled(agg, InferNode(graph, nb, layer - 1, rng, memo),
+                        coeff);
+      }
+    }
+    out = weights_[layer - 1]->value.MatVec(math::Concat(self, agg));
+    if (layer != config_.num_layers) {  // linear top layer
+      for (double& v : out) v = v > 0.0 ? v : 0.0;
+    }
+    math::NormalizeL2(out);
+  }
+  memo.emplace(key, out);
+  return out;
+}
+
+math::Vec GraphSage::Embedding(const graph::BipartiteGraph& graph,
+                               graph::NodeId node) const {
+  GEM_CHECK(node >= 0 && node < graph.num_nodes());
+  EnsureCapacity(graph, graph.num_nodes());
+  math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                (static_cast<uint64_t>(node) + 1)));
+  std::unordered_map<long, math::Vec> memo;
+  return InferNode(graph, node, config_.num_layers, rng, memo);
+}
+
+GraphSageEmbedder::GraphSageEmbedder(GraphSageConfig config,
+                                     graph::EdgeWeightConfig weight_config)
+    : graph_(weight_config), model_(std::move(config)) {}
+
+Status GraphSageEmbedder::Fit(const std::vector<rf::ScanRecord>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("no training records");
+  }
+  train_nodes_.clear();
+  for (const rf::ScanRecord& record : train) {
+    train_nodes_.push_back(graph_.AddRecord(record));
+  }
+  num_train_ = static_cast<int>(train.size());
+  return model_.Train(graph_);
+}
+
+math::Vec GraphSageEmbedder::TrainEmbedding(int i) const {
+  GEM_CHECK(i >= 0 && i < num_train_);
+  return model_.Embedding(graph_, train_nodes_[i]);
+}
+
+std::optional<math::Vec> GraphSageEmbedder::EmbedNew(
+    const rf::ScanRecord& record) {
+  GEM_CHECK(model_.trained());
+  const bool connected = graph_.CountKnownMacs(record) > 0;
+  const graph::NodeId node = graph_.AddRecord(record);
+  if (!connected) return std::nullopt;
+  return model_.Embedding(graph_, node);
+}
+
+}  // namespace gem::embed

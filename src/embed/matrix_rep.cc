@@ -1,0 +1,85 @@
+#include "embed/matrix_rep.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace gem::embed {
+
+void MacVocabulary::Build(const std::vector<rf::ScanRecord>& records) {
+  macs_.clear();
+  index_.clear();
+  for (const rf::ScanRecord& record : records) {
+    for (const rf::Reading& reading : record.readings) {
+      if (index_.emplace(reading.mac, static_cast<int>(macs_.size())).second) {
+        macs_.push_back(reading.mac);
+      }
+    }
+  }
+}
+
+std::optional<int> MacVocabulary::IndexOf(const std::string& mac) const {
+  const auto it = index_.find(mac);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+math::Vec MacVocabulary::ToDense(const rf::ScanRecord& record,
+                                 double pad_dbm) const {
+  math::Vec dense(macs_.size(), pad_dbm);
+  for (const rf::Reading& reading : record.readings) {
+    const auto it = index_.find(reading.mac);
+    if (it != index_.end()) {
+      dense[it->second] = std::max(dense[it->second], reading.rss_dbm);
+    }
+  }
+  return dense;
+}
+
+math::Vec MacVocabulary::ToDenseNormalized(const rf::ScanRecord& record,
+                                           double pad_dbm) const {
+  constexpr double kCeilingDbm = -20.0;
+  math::Vec dense = ToDense(record, pad_dbm);
+  const double range = kCeilingDbm - pad_dbm;
+  for (double& v : dense) {
+    v = std::clamp((v - pad_dbm) / range, 0.0, 1.0);
+  }
+  return dense;
+}
+
+int MacVocabulary::CountKnownMacs(const rf::ScanRecord& record) const {
+  int known = 0;
+  for (const rf::Reading& reading : record.readings) {
+    if (index_.count(reading.mac) > 0) ++known;
+  }
+  return known;
+}
+
+Status RawVectorEmbedder::Fit(const std::vector<rf::ScanRecord>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("no training records");
+  }
+  vocab_.Build(train);
+  if (vocab_.size() == 0) {
+    return Status::InvalidArgument("training records contain no MACs");
+  }
+  train_embeddings_.clear();
+  for (const rf::ScanRecord& record : train) {
+    train_embeddings_.push_back(vocab_.ToDenseNormalized(record, pad_dbm_));
+  }
+  num_train_ = static_cast<int>(train.size());
+  return Status::Ok();
+}
+
+math::Vec RawVectorEmbedder::TrainEmbedding(int i) const {
+  GEM_CHECK(i >= 0 && i < num_train_);
+  return train_embeddings_[i];
+}
+
+std::optional<math::Vec> RawVectorEmbedder::EmbedNew(
+    const rf::ScanRecord& record) {
+  if (vocab_.CountKnownMacs(record) == 0) return std::nullopt;
+  return vocab_.ToDenseNormalized(record, pad_dbm_);
+}
+
+}  // namespace gem::embed

@@ -1,0 +1,77 @@
+#ifndef GEM_EMBED_MATRIX_REP_H_
+#define GEM_EMBED_MATRIX_REP_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "embed/embedder.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "rf/types.h"
+
+namespace gem::embed {
+
+/// The conventional fixed-length matrix representation of RF signal
+/// records (Section IV-A): one dimension per MAC seen in training,
+/// missing entries padded with an arbitrarily small RSS (-120 dBm in
+/// the paper). This is the representation whose "missing-value
+/// problem" GEM's bipartite-graph modeling removes; it underlies the
+/// SignatureHome/INOA/autoencoder/MDS baselines and Figure 7's
+/// "GEM without BiSAGE" arm.
+class MacVocabulary {
+ public:
+  MacVocabulary() = default;
+
+  /// Builds the vocabulary from training records (first-seen order).
+  void Build(const std::vector<rf::ScanRecord>& records);
+
+  int size() const { return static_cast<int>(macs_.size()); }
+  const std::vector<std::string>& macs() const { return macs_; }
+  std::optional<int> IndexOf(const std::string& mac) const;
+
+  /// Fixed-length RSS vector of a record; MACs outside the vocabulary
+  /// are dropped, missing ones padded with `pad_dbm`.
+  math::Vec ToDense(const rf::ScanRecord& record,
+                    double pad_dbm = -120.0) const;
+
+  /// ToDense rescaled to roughly [0, 1]: (rss - pad) / (ceiling - pad)
+  /// with ceiling = -20 dBm. The normalization keeps autoencoder /
+  /// distance computations well-conditioned.
+  math::Vec ToDenseNormalized(const rf::ScanRecord& record,
+                              double pad_dbm = -120.0) const;
+
+  /// Number of readings in `record` whose MAC the vocabulary knows.
+  int CountKnownMacs(const rf::ScanRecord& record) const;
+
+ private:
+  std::vector<std::string> macs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// RecordEmbedder that simply returns the normalized padded vector —
+/// "GEM without the embeddings by BiSAGE" in Figure 7.
+class RawVectorEmbedder : public RecordEmbedder {
+ public:
+  explicit RawVectorEmbedder(double pad_dbm = -120.0) : pad_dbm_(pad_dbm) {}
+
+  Status Fit(const std::vector<rf::ScanRecord>& train) override;
+  math::Vec TrainEmbedding(int i) const override;
+  int num_train() const override { return num_train_; }
+  std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
+  int dimension() const override { return vocab_.size(); }
+
+  const MacVocabulary& vocabulary() const { return vocab_; }
+
+ private:
+  double pad_dbm_;
+  MacVocabulary vocab_;
+  std::vector<math::Vec> train_embeddings_;
+  int num_train_ = 0;
+};
+
+}  // namespace gem::embed
+
+#endif  // GEM_EMBED_MATRIX_REP_H_

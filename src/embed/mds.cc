@@ -1,0 +1,114 @@
+#include "embed/mds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "math/eigen.h"
+#include "math/vec.h"
+
+namespace gem::embed {
+
+MdsEmbedder::MdsEmbedder(MdsConfig config) : config_(config) {}
+
+Status MdsEmbedder::Fit(const std::vector<rf::ScanRecord>& train) {
+  if (train.size() < 2) {
+    return Status::InvalidArgument("MDS needs at least 2 training records");
+  }
+  vocab_.Build(train);
+  if (vocab_.size() == 0) {
+    return Status::InvalidArgument("training records contain no MACs");
+  }
+  const int n = static_cast<int>(train.size());
+  train_dense_.clear();
+  train_dense_.reserve(n);
+  for (const rf::ScanRecord& record : train) {
+    train_dense_.push_back(vocab_.ToDenseNormalized(record, config_.pad_dbm));
+  }
+
+  // Squared distance matrix D2 with d = 1 - cosine similarity.
+  math::Matrix d2(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = math::CosineDistance(train_dense_[i], train_dense_[j]);
+      d2.At(i, j) = d * d;
+      d2.At(j, i) = d * d;
+    }
+  }
+
+  // Double centering: B = -0.5 * J D2 J.
+  sq_dist_col_mean_.assign(n, 0.0);
+  double grand_mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) row_sum += d2.At(i, j);
+    sq_dist_col_mean_[i] = row_sum / n;
+    grand_mean += row_sum;
+  }
+  grand_mean /= static_cast<double>(n) * n;
+
+  math::Matrix b(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b.At(i, j) = -0.5 * (d2.At(i, j) - sq_dist_col_mean_[i] -
+                           sq_dist_col_mean_[j] + grand_mean);
+    }
+  }
+
+  auto eigen = math::JacobiEigenSymmetric(b);
+  if (!eigen.ok()) return eigen.status();
+  eigvals_ = eigen.value().values;
+  eigvecs_ = eigen.value().vectors;
+
+  // Keep the top-k strictly positive eigenvalues.
+  components_used_ = 0;
+  for (int k = 0; k < std::min(config_.components, n); ++k) {
+    if (eigvals_[k] > 1e-9) ++components_used_;
+  }
+  if (components_used_ == 0) {
+    return Status::Internal("centered Gram matrix has no positive spectrum");
+  }
+
+  // Training embeddings: X = V_k Lambda_k^{1/2}.
+  train_embeddings_ = math::Matrix(n, components_used_, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < components_used_; ++k) {
+      train_embeddings_.At(i, k) =
+          eigvecs_.At(k, i) * std::sqrt(eigvals_[k]);
+    }
+  }
+  num_train_ = n;
+  return Status::Ok();
+}
+
+math::Vec MdsEmbedder::TrainEmbedding(int i) const {
+  GEM_CHECK(i >= 0 && i < num_train_);
+  return train_embeddings_.Row(i);
+}
+
+std::optional<math::Vec> MdsEmbedder::EmbedNew(const rf::ScanRecord& record) {
+  GEM_CHECK(num_train_ > 0);
+  if (vocab_.CountKnownMacs(record) == 0) return std::nullopt;
+  const math::Vec dense = vocab_.ToDenseNormalized(record, config_.pad_dbm);
+
+  // Landmark-MDS projection (de Silva & Tenenbaum): with delta the
+  // squared distances to the landmarks,
+  //   x_k = v_k . (col_mean - delta) / (2 sqrt(lambda_k)).
+  const int n = num_train_;
+  math::Vec delta(n);
+  for (int i = 0; i < n; ++i) {
+    const double d = math::CosineDistance(dense, train_dense_[i]);
+    delta[i] = d * d;
+  }
+  math::Vec out(components_used_, 0.0);
+  for (int k = 0; k < components_used_; ++k) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      acc += eigvecs_.At(k, i) * (sq_dist_col_mean_[i] - delta[i]);
+    }
+    out[k] = acc / (2.0 * std::sqrt(eigvals_[k]));
+  }
+  return out;
+}
+
+}  // namespace gem::embed

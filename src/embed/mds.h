@@ -1,0 +1,51 @@
+#ifndef GEM_EMBED_MDS_H_
+#define GEM_EMBED_MDS_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "embed/embedder.h"
+#include "embed/matrix_rep.h"
+#include "math/matrix.h"
+
+namespace gem::embed {
+
+/// MDS baseline hyperparameters. Per the paper's convention the
+/// pairwise distance is 1 - cosine similarity over padded vectors.
+struct MdsConfig {
+  int components = 32;
+  double pad_dbm = -120.0;
+};
+
+/// "MDS + OD" baseline of Table I: classical (Torgerson) multi-
+/// dimensional scaling of the training records' pairwise 1-cosine
+/// distances; streaming test records are projected with the standard
+/// Nystrom / landmark-MDS out-of-sample extension (the training set
+/// acts as the landmark set).
+class MdsEmbedder : public RecordEmbedder {
+ public:
+  explicit MdsEmbedder(MdsConfig config = {});
+
+  Status Fit(const std::vector<rf::ScanRecord>& train) override;
+  math::Vec TrainEmbedding(int i) const override;
+  int num_train() const override { return num_train_; }
+  std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
+  int dimension() const override { return components_used_; }
+
+ private:
+  MdsConfig config_;
+  MacVocabulary vocab_;
+  std::vector<math::Vec> train_dense_;  // normalized padded vectors
+  math::Matrix train_embeddings_;       // n x k
+  /// Per-landmark mean of the squared-distance matrix (for Nystrom).
+  math::Vec sq_dist_col_mean_;
+  /// Eigenvectors (rows) and eigenvalues of the centered Gram matrix.
+  math::Matrix eigvecs_;
+  math::Vec eigvals_;
+  int components_used_ = 0;
+  int num_train_ = 0;
+};
+
+}  // namespace gem::embed
+
+#endif  // GEM_EMBED_MDS_H_

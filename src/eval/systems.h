@@ -1,0 +1,43 @@
+#ifndef GEM_EVAL_SYSTEMS_H_
+#define GEM_EVAL_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/geofence.h"
+#include "core/gem.h"
+
+namespace gem::eval {
+
+/// Every geofencing algorithm evaluated in the paper (Table I rows
+/// plus the Figure 7 "GEM without BiSAGE" arm).
+enum class AlgorithmId {
+  kGem,                   // GEM (BiSAGE + OD)
+  kSignatureHome,         // SignatureHome
+  kInoa,                  // INOA
+  kGraphSageOd,           // GraphSAGE + OD
+  kAutoencoderOd,         // Autoencoder + OD
+  kMdsOd,                 // MDS + OD
+  kBiSageFeatureBagging,  // BiSAGE + feature bagging
+  kBiSageIForest,         // BiSAGE + iForest
+  kBiSageLof,             // BiSAGE + LOF
+  kRawOd,                 // padded matrix + OD (Figure 7, "w/o BiSAGE")
+};
+
+/// The nine Table I rows, paper order.
+std::vector<AlgorithmId> TableOneAlgorithms();
+
+/// Display name matching the paper's row labels.
+std::string AlgorithmName(AlgorithmId id);
+
+/// Instantiates a fresh system. `seed` decorrelates stochastic
+/// components across repeats; `gem_config` customizes the GEM arm (and
+/// the BiSAGE/OD components reused by the mixed arms).
+std::unique_ptr<core::GeofencingSystem> MakeSystem(
+    AlgorithmId id, uint64_t seed = 13,
+    const core::GemConfig& gem_config = core::GemConfig());
+
+}  // namespace gem::eval
+
+#endif  // GEM_EVAL_SYSTEMS_H_

@@ -1,0 +1,42 @@
+#ifndef GEM_EVAL_TABLE_H_
+#define GEM_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/evaluate.h"
+
+namespace gem::eval {
+
+/// Formats "0.98 (0.94, 1.00)" table cells.
+std::string FormatSummary(const math::Summary& summary);
+
+/// Formats a plain "0.98" cell.
+std::string FormatValue(double value);
+
+/// Simple fixed-width text table writer for bench output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Appends the six aggregate metric cells in Table I order
+/// (P_in R_in F_in P_out R_out F_out).
+void AppendMetricCells(const AggregateMetrics& aggregate,
+                       std::vector<std::string>& cells);
+
+}  // namespace gem::eval
+
+#endif  // GEM_EVAL_TABLE_H_

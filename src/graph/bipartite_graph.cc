@@ -1,0 +1,144 @@
+#include "graph/bipartite_graph.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace gem::graph {
+
+BipartiteGraph::BipartiteGraph(EdgeWeightConfig weight_config)
+    : weight_config_(weight_config) {}
+
+NodeId BipartiteGraph::AddRecord(const rf::ScanRecord& record) {
+  const NodeId record_id = num_nodes();
+  types_.push_back(NodeType::kRecord);
+  adjacency_.emplace_back();
+  weight_sums_.push_back(0.0);
+  samplers_.emplace_back();
+  ++num_records_;
+
+  for (const rf::Reading& reading : record.readings) {
+    NodeId mac_id;
+    const auto it = mac_index_.find(reading.mac);
+    if (it == mac_index_.end()) {
+      mac_id = num_nodes();
+      types_.push_back(NodeType::kMac);
+      adjacency_.emplace_back();
+      weight_sums_.push_back(0.0);
+      samplers_.emplace_back();
+      mac_index_.emplace(reading.mac, mac_id);
+      ++num_macs_;
+    } else {
+      mac_id = it->second;
+    }
+    const double w = EdgeWeight(reading.rss_dbm, weight_config_);
+    adjacency_[record_id].push_back(Neighbor{mac_id, w});
+    adjacency_[mac_id].push_back(Neighbor{record_id, w});
+    weight_sums_[record_id] += w;
+    weight_sums_[mac_id] += w;
+    InvalidateCaches(mac_id);
+  }
+  InvalidateCaches(record_id);
+  return record_id;
+}
+
+NodeType BipartiteGraph::type(NodeId id) const {
+  GEM_CHECK(id >= 0 && id < num_nodes());
+  return types_[id];
+}
+
+const std::vector<Neighbor>& BipartiteGraph::neighbors(NodeId id) const {
+  GEM_CHECK(id >= 0 && id < num_nodes());
+  return adjacency_[id];
+}
+
+int BipartiteGraph::degree(NodeId id) const {
+  return static_cast<int>(neighbors(id).size());
+}
+
+double BipartiteGraph::weight_sum(NodeId id) const {
+  GEM_CHECK(id >= 0 && id < num_nodes());
+  return weight_sums_[id];
+}
+
+std::optional<NodeId> BipartiteGraph::FindMac(const std::string& mac) const {
+  const auto it = mac_index_.find(mac);
+  if (it == mac_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+int BipartiteGraph::CountKnownMacs(const rf::ScanRecord& record) const {
+  int known = 0;
+  for (const rf::Reading& reading : record.readings) {
+    if (mac_index_.count(reading.mac) > 0) ++known;
+  }
+  return known;
+}
+
+void BipartiteGraph::InvalidateCaches(NodeId id) {
+  samplers_[id].reset();
+  negative_sampler_.reset();
+}
+
+const math::AliasSampler& BipartiteGraph::NeighborSampler(NodeId id) const {
+  if (!samplers_[id]) {
+    const auto& adj = adjacency_[id];
+    math::Vec weights(adj.size());
+    for (size_t i = 0; i < adj.size(); ++i) weights[i] = adj[i].weight;
+    samplers_[id] = std::make_unique<math::AliasSampler>(weights);
+  }
+  return *samplers_[id];
+}
+
+std::vector<Neighbor> BipartiteGraph::SampleNeighbors(NodeId id, int count,
+                                                      math::Rng& rng) const {
+  GEM_CHECK(id >= 0 && id < num_nodes());
+  GEM_CHECK(count >= 0);
+  std::vector<Neighbor> sampled;
+  const auto& adj = adjacency_[id];
+  if (adj.empty() || count == 0) return sampled;
+  const math::AliasSampler& sampler = NeighborSampler(id);
+  sampled.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    sampled.push_back(adj[sampler.Sample(rng)]);
+  }
+  return sampled;
+}
+
+std::vector<NodeId> BipartiteGraph::RandomWalk(NodeId start, int length,
+                                               math::Rng& rng) const {
+  GEM_CHECK(start >= 0 && start < num_nodes());
+  GEM_CHECK(length >= 0);
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId current = start;
+  for (int step = 0; step < length; ++step) {
+    const auto& adj = adjacency_[current];
+    if (adj.empty()) break;
+    current = adj[NeighborSampler(current).Sample(rng)].node;
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+NodeId BipartiteGraph::SampleNegative(math::Rng& rng) const {
+  GEM_CHECK(num_nodes() > 0);
+  if (!negative_sampler_ || negative_sampler_nodes_ != num_nodes()) {
+    math::Vec weights(num_nodes());
+    for (int i = 0; i < num_nodes(); ++i) {
+      weights[i] = std::pow(static_cast<double>(adjacency_[i].size()), 0.75);
+    }
+    // An all-isolated graph degenerates to uniform sampling.
+    bool any = false;
+    for (double w : weights) any |= w > 0.0;
+    if (!any) {
+      for (double& w : weights) w = 1.0;
+    }
+    negative_sampler_ = std::make_unique<math::AliasSampler>(weights);
+    negative_sampler_nodes_ = num_nodes();
+  }
+  return negative_sampler_->Sample(rng);
+}
+
+}  // namespace gem::graph

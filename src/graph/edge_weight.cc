@@ -1,0 +1,25 @@
+#include "graph/edge_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gem::graph {
+
+double EdgeWeight(double rss_dbm, const EdgeWeightConfig& config) {
+  constexpr double kMinWeight = 1e-3;
+  switch (config.kind) {
+    case WeightKind::kLinearOffset:
+      return std::max(rss_dbm + config.offset_c, kMinWeight);
+    case WeightKind::kExponential:
+      return std::max(std::exp(rss_dbm / config.exp_scale), kMinWeight);
+    case WeightKind::kBinary:
+      return 1.0;
+    case WeightKind::kSquaredOffset: {
+      const double base = std::max(rss_dbm + config.offset_c, kMinWeight);
+      return base * base;
+    }
+  }
+  return kMinWeight;
+}
+
+}  // namespace gem::graph

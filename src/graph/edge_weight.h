@@ -1,0 +1,34 @@
+#ifndef GEM_GRAPH_EDGE_WEIGHT_H_
+#define GEM_GRAPH_EDGE_WEIGHT_H_
+
+namespace gem::graph {
+
+/// Families of edge-weight functions f(RSS) > 0 (Equation (1) and the
+/// Figure 14(d) ablation).
+enum class WeightKind {
+  /// The paper's choice (Equation (2)): w = RSS + c with
+  /// c > max |RSS|.
+  kLinearOffset,
+  /// w = exp(RSS / scale): emphasizes strong signals.
+  kExponential,
+  /// w = 1 for every sensed AP: presence-only graph.
+  kBinary,
+  /// w = (RSS + c)^2: sharper emphasis than linear.
+  kSquaredOffset,
+};
+
+/// Parameters of the weight function. `offset_c` is the paper's c
+/// (default 120 dBm, larger than any |RSS|).
+struct EdgeWeightConfig {
+  WeightKind kind = WeightKind::kLinearOffset;
+  double offset_c = 120.0;
+  double exp_scale = 20.0;
+};
+
+/// Maps an RSS (dBm, negative) to a positive edge weight. Values are
+/// clamped to stay strictly positive even for RSS below -offset_c.
+double EdgeWeight(double rss_dbm, const EdgeWeightConfig& config);
+
+}  // namespace gem::graph
+
+#endif  // GEM_GRAPH_EDGE_WEIGHT_H_

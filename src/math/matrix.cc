@@ -1,0 +1,101 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "math/rng.h"
+
+namespace gem::math {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+  GEM_CHECK(rows >= 0 && cols >= 0);
+}
+
+Vec Matrix::Row(int r) const {
+  GEM_DCHECK(r >= 0 && r < rows_);
+  return Vec(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(int r, const Vec& v) {
+  GEM_DCHECK(r >= 0 && r < rows_);
+  GEM_CHECK(static_cast<int>(v.size()) == cols_);
+  std::copy(v.begin(), v.end(), RowPtr(r));
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillUniform(Rng& rng, double scale) {
+  for (double& x : data_) x = rng.Uniform(-scale, scale);
+}
+
+void Matrix::FillGlorot(Rng& rng) {
+  const double scale = std::sqrt(6.0 / (rows_ + cols_));
+  FillUniform(rng, scale);
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  GEM_CHECK(static_cast<int>(x.size()) == cols_);
+  Vec y(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double sum = 0.0;
+    for (int c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vec Matrix::MatTVec(const Vec& x) const {
+  GEM_CHECK(static_cast<int>(x.size()) == rows_);
+  Vec y(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    const double xr = x[r];
+    for (int c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::AddOuter(const Vec& a, const Vec& b, double scale) {
+  GEM_CHECK(static_cast<int>(a.size()) == rows_);
+  GEM_CHECK(static_cast<int>(b.size()) == cols_);
+  for (int r = 0; r < rows_; ++r) {
+    double* row = RowPtr(r);
+    const double ar = scale * a[r];
+    for (int c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  GEM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::AppendRow(const Vec& v) {
+  if (rows_ == 0 && cols_ == 0) cols_ = static_cast<int>(v.size());
+  GEM_CHECK(static_cast<int>(v.size()) == cols_);
+  data_.insert(data_.end(), v.begin(), v.end());
+  ++rows_;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  GEM_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      double* crow = c.RowPtr(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace gem::math

@@ -1,0 +1,78 @@
+#ifndef GEM_MATH_MATRIX_H_
+#define GEM_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/vec.h"
+
+namespace gem::math {
+
+class Rng;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Pointer to the start of row r.
+  double* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Copies row r into a Vec.
+  Vec Row(int r) const;
+
+  /// Overwrites row r from v (v.size() must equal cols()).
+  void SetRow(int r, const Vec& v);
+
+  /// Sets all entries to value.
+  void Fill(double value);
+
+  /// Fills with i.i.d. uniform values in [-scale, scale].
+  void FillUniform(Rng& rng, double scale);
+
+  /// Fills with Glorot/Xavier uniform init: scale = sqrt(6/(rows+cols)).
+  void FillGlorot(Rng& rng);
+
+  /// y = M x  (x.size() == cols; returns size rows).
+  Vec MatVec(const Vec& x) const;
+
+  /// y = M^T x  (x.size() == rows; returns size cols).
+  Vec MatTVec(const Vec& x) const;
+
+  /// M += scale * (a outer b), with a.size()==rows, b.size()==cols.
+  void AddOuter(const Vec& a, const Vec& b, double scale);
+
+  /// M += scale * other (same shape).
+  void AddScaled(const Matrix& other, double scale);
+
+  /// Appends a row (v.size() must equal cols(); for an empty matrix the
+  /// column count is taken from v).
+  void AppendRow(const Vec& v);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Returns C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+}  // namespace gem::math
+
+#endif  // GEM_MATH_MATRIX_H_

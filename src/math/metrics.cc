@@ -1,0 +1,124 @@
+#include "math/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace gem::math {
+
+void ConfusionCounts::Add(bool actual_positive, bool predicted_positive) {
+  if (actual_positive) {
+    predicted_positive ? ++tp : ++fn;
+  } else {
+    predicted_positive ? ++fp : ++tn;
+  }
+}
+
+double ConfusionCounts::Precision() const {
+  const long denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double ConfusionCounts::Recall() const {
+  const long denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double ConfusionCounts::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionCounts::FalsePositiveRate() const {
+  const long denom = fp + tn;
+  return denom == 0 ? 0.0 : static_cast<double>(fp) / denom;
+}
+
+InOutMetrics ComputeInOutMetrics(const std::vector<bool>& actual_inside,
+                                 const std::vector<bool>& predicted_inside) {
+  GEM_CHECK(actual_inside.size() == predicted_inside.size());
+  ConfusionCounts in;   // positive = inside
+  ConfusionCounts out;  // positive = outside
+  for (size_t i = 0; i < actual_inside.size(); ++i) {
+    in.Add(actual_inside[i], predicted_inside[i]);
+    out.Add(!actual_inside[i], !predicted_inside[i]);
+  }
+  InOutMetrics m;
+  m.precision_in = in.Precision();
+  m.recall_in = in.Recall();
+  m.f_in = in.F1();
+  m.precision_out = out.Precision();
+  m.recall_out = out.Recall();
+  m.f_out = out.F1();
+  return m;
+}
+
+std::vector<RocPoint> RocCurve(const Vec& scores,
+                               const std::vector<bool>& is_positive) {
+  GEM_CHECK(scores.size() == is_positive.size());
+  long num_pos = 0;
+  long num_neg = 0;
+  for (bool p : is_positive) (p ? num_pos : num_neg)++;
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{scores.empty() ? 0.0 : scores[order[0]] + 1.0,
+                           0.0, 0.0});
+  long tp = 0;
+  long fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    // Consume all samples tied at this threshold before emitting a point.
+    while (i < order.size() && scores[order[i]] == threshold) {
+      (is_positive[order[i]] ? tp : fp)++;
+      ++i;
+    }
+    RocPoint pt;
+    pt.threshold = threshold;
+    pt.tpr = num_pos == 0 ? 0.0 : static_cast<double>(tp) / num_pos;
+    pt.fpr = num_neg == 0 ? 0.0 : static_cast<double>(fp) / num_neg;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+double RocAuc(const Vec& scores, const std::vector<bool>& is_positive) {
+  GEM_CHECK(scores.size() == is_positive.size());
+  // Mann-Whitney U: average rank of positives.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  long num_pos = 0;
+  long num_neg = 0;
+  for (bool p : is_positive) (p ? num_pos : num_neg)++;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  // Ranks with ties averaged.
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Positions i..j-1 share the average 1-based rank.
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (is_positive[order[k]]) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace gem::math

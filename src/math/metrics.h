@@ -1,0 +1,65 @@
+#ifndef GEM_MATH_METRICS_H_
+#define GEM_MATH_METRICS_H_
+
+#include <vector>
+
+#include "math/vec.h"
+
+namespace gem::math {
+
+/// Binary confusion counts. "Positive" is whatever class the caller
+/// designates: the paper reports both orientations (in-premises as
+/// positive, and outside as positive).
+struct ConfusionCounts {
+  long tp = 0;
+  long fp = 0;
+  long tn = 0;
+  long fn = 0;
+
+  void Add(bool actual_positive, bool predicted_positive);
+
+  /// TP / (TP + FP); 0 if the denominator is 0.
+  double Precision() const;
+  /// TP / (TP + FN); 0 if the denominator is 0.
+  double Recall() const;
+  /// Harmonic mean of precision and recall; 0 if both are 0.
+  double F1() const;
+  /// FP / (FP + TN); 0 if the denominator is 0.
+  double FalsePositiveRate() const;
+};
+
+/// Precision/recall/F for both orientations, as reported in Tables I-II.
+struct InOutMetrics {
+  double precision_in = 0.0;
+  double recall_in = 0.0;
+  double f_in = 0.0;
+  double precision_out = 0.0;
+  double recall_out = 0.0;
+  double f_out = 0.0;
+};
+
+/// Computes the six metrics from per-sample truths and predictions,
+/// where true/predicted "true" means *inside* the geofence.
+InOutMetrics ComputeInOutMetrics(const std::vector<bool>& actual_inside,
+                                 const std::vector<bool>& predicted_inside);
+
+/// One point on a ROC curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+/// Builds the ROC curve for scores where HIGHER score means MORE likely
+/// positive. `is_positive[i]` labels scores[i]. Points are ordered from
+/// (0,0) towards (1,1).
+std::vector<RocPoint> RocCurve(const Vec& scores,
+                               const std::vector<bool>& is_positive);
+
+/// Area under the ROC curve via the Mann-Whitney statistic (ties count
+/// half). Returns 0.5 when either class is empty.
+double RocAuc(const Vec& scores, const std::vector<bool>& is_positive);
+
+}  // namespace gem::math
+
+#endif  // GEM_MATH_METRICS_H_

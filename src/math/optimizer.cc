@@ -1,0 +1,71 @@
+#include "math/optimizer.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace gem::math {
+
+void Adam::Register(Parameter* param) {
+  GEM_CHECK(param != nullptr);
+  Slot slot;
+  slot.param = param;
+  slot.m = Matrix(param->value.rows(), param->value.cols());
+  slot.v = Matrix(param->value.rows(), param->value.cols());
+  slots_.push_back(std::move(slot));
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_);
+  for (Slot& slot : slots_) {
+    auto& value = slot.param->value.data();
+    auto& grad = slot.param->grad.data();
+    auto& m = slot.m.data();
+    auto& v = slot.v.data();
+    for (size_t i = 0; i < value.size(); ++i) {
+      const double g = grad[i];
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      value[i] -=
+          options_.learning_rate * mhat / (std::sqrt(vhat) + options_.epsilon);
+    }
+    slot.param->ZeroGrad();
+  }
+}
+
+RowAdam::RowAdam(int rows, int dim, AdamOptions options)
+    : options_(options), m_(rows, dim), v_(rows, dim), step_(rows, 0) {}
+
+void RowAdam::Update(Matrix& table, int row, const Vec& g) {
+  GEM_CHECK(row >= 0 && row < m_.rows());
+  GEM_CHECK(static_cast<int>(g.size()) == m_.cols());
+  const long t = ++step_[row];
+  const double bc1 = 1.0 - std::pow(options_.beta1, t);
+  const double bc2 = 1.0 - std::pow(options_.beta2, t);
+  double* value = table.RowPtr(row);
+  double* m = m_.RowPtr(row);
+  double* v = v_.RowPtr(row);
+  for (int i = 0; i < m_.cols(); ++i) {
+    m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * g[i];
+    v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * g[i] * g[i];
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    value[i] -=
+        options_.learning_rate * mhat / (std::sqrt(vhat) + options_.epsilon);
+  }
+}
+
+void RowAdam::Resize(int rows) {
+  GEM_CHECK(rows >= m_.rows());
+  while (m_.rows() < rows) {
+    m_.AppendRow(Vec(m_.cols() == 0 ? 0 : m_.cols(), 0.0));
+    v_.AppendRow(Vec(v_.cols() == 0 ? 0 : v_.cols(), 0.0));
+    step_.push_back(0);
+  }
+}
+
+}  // namespace gem::math

@@ -1,0 +1,76 @@
+#include "math/vec.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace gem::math {
+
+double Dot(const Vec& a, const Vec& b) {
+  GEM_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredDistance(const Vec& a, const Vec& b) {
+  GEM_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Distance(const Vec& a, const Vec& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double CosineDistance(const Vec& a, const Vec& b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  return 1.0 - Dot(a, b) / (na * nb);
+}
+
+void AddScaled(Vec& a, const Vec& b, double scale) {
+  GEM_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+void Scale(Vec& a, double scale) {
+  for (double& x : a) x *= scale;
+}
+
+void NormalizeL2(Vec& a) {
+  const double norm = Norm2(a);
+  if (norm > 0.0) Scale(a, 1.0 / norm);
+}
+
+Vec Concat(const Vec& a, const Vec& b) {
+  Vec out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  GEM_DCHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec MeanRows(const std::vector<Vec>& rows) {
+  if (rows.empty()) return {};
+  Vec out(rows[0].size(), 0.0);
+  for (const Vec& row : rows) AddScaled(out, row, 1.0);
+  Scale(out, 1.0 / static_cast<double>(rows.size()));
+  return out;
+}
+
+}  // namespace gem::math

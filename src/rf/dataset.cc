@@ -1,0 +1,71 @@
+#include "rf/dataset.h"
+
+#include "base/check.h"
+
+namespace gem::rf {
+namespace {
+
+void AppendScans(const Scanner& scanner, const Trajectory& traj,
+                 double time_offset_s, math::Rng& rng,
+                 std::vector<ScanRecord>& out) {
+  for (const TimedPoint& tp : traj) {
+    out.push_back(
+        scanner.Scan(tp.position, tp.floor, time_offset_s + tp.time_s, rng));
+  }
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const Environment& env, const PropagationModel& model,
+                        const DatasetOptions& options) {
+  math::Rng rng(options.seed);
+  Scanner scanner(&env, &model);
+  scanner.SetTimeOfDayProfile(options.time_of_day);
+
+  Dataset dataset;
+
+  // Initial training: the perimeter walk inside the premises,
+  // followed by a short stretch of ordinary indoor movement.
+  const double perimeter_s =
+      options.train_perimeter_fraction * options.train_duration_s;
+  const Trajectory train_walk = PerimeterWalk(
+      env, options.walk_speed_mps, perimeter_s,
+      options.train_scan_interval_s);
+  AppendScans(scanner, train_walk, 0.0, rng, dataset.train);
+  const double interior_s = options.train_duration_s - perimeter_s;
+  if (interior_s > options.train_scan_interval_s) {
+    const Trajectory interior_walk = RandomWaypointInside(
+        env, options.walk_speed_mps, interior_s,
+        options.train_scan_interval_s, rng);
+    AppendScans(scanner, interior_walk, perimeter_s, rng, dataset.train);
+  }
+
+  // Test stream: alternating inside / outside segments, time-ordered.
+  double t = options.train_duration_s;
+  for (int seg = 0; seg < options.test_segments; ++seg) {
+    Trajectory traj;
+    if (seg % 2 == 0) {
+      traj = RandomWaypointInside(env, options.walk_speed_mps,
+                                  options.test_segment_duration_s,
+                                  options.test_scan_interval_s, rng);
+    } else {
+      traj = OutsideWalk(env, options.outside_min_m, options.outside_max_m,
+                         options.walk_speed_mps,
+                         options.test_segment_duration_s,
+                         options.test_scan_interval_s, rng);
+    }
+    AppendScans(scanner, traj, t, rng, dataset.test);
+    t += options.test_segment_duration_s;
+  }
+  return dataset;
+}
+
+Dataset GenerateScenarioDataset(const ScenarioConfig& scenario,
+                                const DatasetOptions& options,
+                                PropagationConfig prop) {
+  const Environment env = BuildEnvironment(scenario);
+  const PropagationModel model(&env, prop);
+  return GenerateDataset(env, model, options);
+}
+
+}  // namespace gem::rf

@@ -1,0 +1,93 @@
+#include "rf/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+
+namespace gem::rf {
+
+std::vector<std::string> CollectMacs(const std::vector<ScanRecord>& records) {
+  std::vector<std::string> macs;
+  std::unordered_set<std::string> seen;
+  for (const ScanRecord& record : records) {
+    for (const Reading& reading : record.readings) {
+      if (seen.insert(reading.mac).second) macs.push_back(reading.mac);
+    }
+  }
+  return macs;
+}
+
+void RemoveMacs(std::vector<ScanRecord>& records,
+                const std::vector<std::string>& macs) {
+  const std::unordered_set<std::string> to_remove(macs.begin(), macs.end());
+  for (ScanRecord& record : records) {
+    auto& r = record.readings;
+    r.erase(std::remove_if(r.begin(), r.end(),
+                           [&](const Reading& reading) {
+                             return to_remove.count(reading.mac) > 0;
+                           }),
+            r.end());
+  }
+}
+
+std::vector<std::string> SampleMacSubset(
+    const std::vector<ScanRecord>& records, double fraction,
+    math::Rng& rng) {
+  GEM_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<std::string> macs = CollectMacs(records);
+  rng.Shuffle(macs);
+  const size_t count = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(macs.size())));
+  macs.resize(std::min(count, macs.size()));
+  return macs;
+}
+
+void ApplyApOnOffDynamics(std::vector<ScanRecord>& records, double p,
+                          double q, int block_size, math::Rng& rng) {
+  GEM_CHECK(p >= 0.0 && p <= 1.0 && q >= 0.0 && q <= 1.0);
+  GEM_CHECK(block_size > 0);
+  std::unordered_map<std::string, bool> on;  // state per MAC; default ON
+  for (const std::string& mac : CollectMacs(records)) on[mac] = true;
+
+  for (size_t start = 0; start < records.size();
+       start += static_cast<size_t>(block_size)) {
+    // Transition every MAC at the block boundary (including the first
+    // block: the paper's process transitions every 30 samples
+    // throughout the whole stream, self-transitions included).
+    if (start > 0) {
+      for (auto& [mac, state] : on) {
+        if (state) {
+          if (rng.Bernoulli(p)) state = false;
+        } else {
+          if (rng.Bernoulli(q)) state = true;
+        }
+      }
+    }
+    const size_t end =
+        std::min(records.size(), start + static_cast<size_t>(block_size));
+    for (size_t i = start; i < end; ++i) {
+      auto& r = records[i].readings;
+      r.erase(std::remove_if(r.begin(), r.end(),
+                             [&](const Reading& reading) {
+                               const auto it = on.find(reading.mac);
+                               return it != on.end() && !it->second;
+                             }),
+              r.end());
+    }
+  }
+}
+
+void FilterBand(std::vector<ScanRecord>& records, Band band) {
+  for (ScanRecord& record : records) {
+    auto& r = record.readings;
+    r.erase(std::remove_if(
+                r.begin(), r.end(),
+                [&](const Reading& reading) { return reading.band != band; }),
+            r.end());
+  }
+}
+
+}  // namespace gem::rf

@@ -1,0 +1,38 @@
+#ifndef GEM_RF_DYNAMICS_H_
+#define GEM_RF_DYNAMICS_H_
+
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "rf/types.h"
+
+namespace gem::rf {
+
+/// All distinct MACs appearing in `records`, in first-seen order.
+std::vector<std::string> CollectMacs(const std::vector<ScanRecord>& records);
+
+/// Removes every reading whose MAC is in `macs` (Figures 10-11's MAC
+/// pruning). Records may become empty; they are kept (an empty record
+/// is itself a realistic degenerate case the pipeline must handle).
+void RemoveMacs(std::vector<ScanRecord>& records,
+                const std::vector<std::string>& macs);
+
+/// Samples ceil(fraction * #macs) distinct MACs uniformly at random.
+std::vector<std::string> SampleMacSubset(const std::vector<ScanRecord>& records,
+                                         double fraction, math::Rng& rng);
+
+/// Applies the two-state Markov ON/OFF process of Figure 12 to a
+/// time-ordered record stream: every MAC starts ON; every `block_size`
+/// consecutive records each MAC transitions ON->OFF with probability p
+/// and OFF->ON with probability q (self-transitions otherwise). While a
+/// MAC is OFF its readings are dropped from the records in that block.
+void ApplyApOnOffDynamics(std::vector<ScanRecord>& records, double p,
+                          double q, int block_size, math::Rng& rng);
+
+/// Keeps only readings in the given band (Figure 15(d)).
+void FilterBand(std::vector<ScanRecord>& records, Band band);
+
+}  // namespace gem::rf
+
+#endif  // GEM_RF_DYNAMICS_H_

@@ -1,0 +1,81 @@
+#include "rf/environment.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace gem::rf {
+namespace {
+
+double Cross(Point o, Point a, Point b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+int Sign(double v) {
+  if (v > 0.0) return 1;
+  if (v < 0.0) return -1;
+  return 0;
+}
+
+}  // namespace
+
+bool SegmentsIntersect(Point p1, Point p2, Point q1, Point q2) {
+  const int d1 = Sign(Cross(q1, q2, p1));
+  const int d2 = Sign(Cross(q1, q2, p2));
+  const int d3 = Sign(Cross(p1, p2, q1));
+  const int d4 = Sign(Cross(p1, p2, q2));
+  // Proper intersection only; touching endpoints (collinear cases) do
+  // not count as a wall crossing, which keeps paths that skim a wall
+  // from double-counting.
+  return d1 * d2 < 0 && d3 * d4 < 0;
+}
+
+void Environment::SetFence(double width_m, double height_m, int floors) {
+  GEM_CHECK(width_m > 0.0 && height_m > 0.0 && floors >= 1);
+  width_ = width_m;
+  height_ = height_m;
+  floors_ = floors;
+}
+
+bool Environment::InsideFence(Point p) const {
+  return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;
+}
+
+double Environment::WallAttenuationDb(Point from, Point to, int floor,
+                                      Band band) const {
+  double total = 0.0;
+  for (const Wall& wall : walls_) {
+    if (wall.floor != floor) continue;
+    if (SegmentsIntersect(from, to, wall.a, wall.b)) {
+      total += wall.attenuation_db;
+      if (band == Band::k5GHz) total += wall.extra_5ghz_db;
+    }
+  }
+  return total;
+}
+
+int Environment::CountWallCrossings(Point from, Point to, int floor) const {
+  int count = 0;
+  for (const Wall& wall : walls_) {
+    if (wall.floor != floor) continue;
+    if (SegmentsIntersect(from, to, wall.a, wall.b)) ++count;
+  }
+  return count;
+}
+
+void Environment::AddExteriorWalls(double attenuation_db,
+                                   double extra_5ghz_db) {
+  GEM_CHECK(width_ > 0.0 && height_ > 0.0);
+  const Point bl{0, 0};
+  const Point br{width_, 0};
+  const Point tr{width_, height_};
+  const Point tl{0, height_};
+  for (int f = 0; f < floors_; ++f) {
+    AddWall(Wall{bl, br, f, attenuation_db, extra_5ghz_db});
+    AddWall(Wall{br, tr, f, attenuation_db, extra_5ghz_db});
+    AddWall(Wall{tr, tl, f, attenuation_db, extra_5ghz_db});
+    AddWall(Wall{tl, bl, f, attenuation_db, extra_5ghz_db});
+  }
+}
+
+}  // namespace gem::rf

@@ -1,0 +1,83 @@
+#include "rf/record_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace gem::rf {
+
+Status SaveRecordsCsv(const std::string& path,
+                      const std::vector<ScanRecord>& records) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << "record_id,timestamp_s,inside,mac,rss_dbm,band\n";
+  long id = 0;
+  for (const ScanRecord& record : records) {
+    for (const Reading& reading : record.readings) {
+      out << id << ',' << record.timestamp_s << ','
+          << (record.inside ? 1 : 0) << ',' << reading.mac << ','
+          << reading.rss_dbm << ','
+          << (reading.band == Band::k5GHz ? "5" : "2.4") << '\n';
+    }
+    ++id;
+  }
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<std::vector<ScanRecord>> LoadRecordsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::vector<ScanRecord> records;
+  long current_id = -1;
+  std::string line;
+  bool first = true;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    std::istringstream row(line);
+    std::string id_s, ts_s, inside_s, mac, rss_s, band_s;
+    if (!std::getline(row, id_s, ',') || !std::getline(row, ts_s, ',') ||
+        !std::getline(row, inside_s, ',') || !std::getline(row, mac, ',') ||
+        !std::getline(row, rss_s, ',') || !std::getline(row, band_s)) {
+      return Status::InvalidArgument("malformed row at line " +
+                                     std::to_string(line_no));
+    }
+    char* end = nullptr;
+    const long id = std::strtol(id_s.c_str(), &end, 10);
+    if (end == id_s.c_str()) {
+      return Status::InvalidArgument("bad record_id at line " +
+                                     std::to_string(line_no));
+    }
+    const double ts = std::strtod(ts_s.c_str(), &end);
+    const double rss = std::strtod(rss_s.c_str(), &end);
+    if (end == rss_s.c_str()) {
+      return Status::InvalidArgument("bad rss at line " +
+                                     std::to_string(line_no));
+    }
+    if (id != current_id) {
+      records.emplace_back();
+      records.back().timestamp_s = ts;
+      records.back().inside = inside_s == "1";
+      current_id = id;
+    }
+    Reading reading;
+    reading.mac = mac;
+    reading.rss_dbm = rss;
+    reading.band = band_s.rfind('5', 0) == 0 ? Band::k5GHz : Band::k2_4GHz;
+    records.back().readings.push_back(std::move(reading));
+  }
+  return records;
+}
+
+}  // namespace gem::rf

@@ -1,0 +1,68 @@
+#ifndef GEM_RF_SCANNER_H_
+#define GEM_RF_SCANNER_H_
+
+#include <vector>
+
+#include "math/rng.h"
+#include "rf/propagation.h"
+#include "rf/types.h"
+
+namespace gem::rf {
+
+/// Crowd/time-of-day modulation of the RF environment (Section VI-D,
+/// Table IV): busy hours raise measurement variance, shift mean RSS
+/// (bodies absorb signal), and add transient MACs from people's
+/// devices.
+struct TimeOfDayProfile {
+  /// Added to every mean RSS (negative during busy hours).
+  double mean_offset_db = 0.0;
+  /// Added in quadrature to the temporal noise sigma.
+  double extra_noise_sigma_db = 0.0;
+  /// Expected number of transient device MACs visible per scan.
+  double transient_macs_per_scan = 0.0;
+  /// Probability that an otherwise-detected AP is missed (body
+  /// blocking / channel congestion).
+  double dropout_probability = 0.0;
+  /// Size of the pool transient MACs are drawn from. People linger, so
+  /// their devices reappear across nearby scans; 0 makes every
+  /// transient MAC unique (worst case).
+  int transient_pool_size = 0;
+};
+
+/// Busy midday, moderately busy afternoon, quiet evening — the LAB
+/// environment of Section VI-D. Matches the qualitative regime of
+/// Table IV: 4 PM shows the lowest mean RSS and the highest SD and MAC
+/// count; 9 PM is quiet with fewer MACs.
+TimeOfDayProfile ProfileAt11Am();
+TimeOfDayProfile ProfileAt4Pm();
+TimeOfDayProfile ProfileAt9Pm();
+
+/// A typical quiet home (the Table I/II setting): light measurement
+/// noise, rare passers-by, small scan-miss rate.
+TimeOfDayProfile ProfileQuietHome();
+
+/// Produces variable-length scan records at given positions. Each scan
+/// samples every AP's RSS, applies the soft detection threshold, crowd
+/// dropout, and appends transient MACs, yielding exactly the
+/// variable-length `(MAC, RSS)` lists the paper's pipeline consumes.
+class Scanner {
+ public:
+  Scanner(const Environment* env, const PropagationModel* model);
+
+  void SetTimeOfDayProfile(TimeOfDayProfile profile) { profile_ = profile; }
+  const TimeOfDayProfile& profile() const { return profile_; }
+
+  /// One scan at position/floor; `timestamp_s` is recorded verbatim.
+  ScanRecord Scan(Point position, int floor, double timestamp_s,
+                  math::Rng& rng) const;
+
+ private:
+  const Environment* env_;
+  const PropagationModel* model_;
+  TimeOfDayProfile profile_;
+  mutable long transient_counter_ = 0;
+};
+
+}  // namespace gem::rf
+
+#endif  // GEM_RF_SCANNER_H_

@@ -1,0 +1,173 @@
+#include "rf/scenario.h"
+
+#include <cmath>
+#include <set>
+
+#include "base/check.h"
+#include "math/rng.h"
+
+namespace gem::rf {
+namespace {
+
+std::string MakeMac(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "02:00:%02x:%02x:%02x:%02x",
+                (index >> 24) & 0xff, (index >> 16) & 0xff,
+                (index >> 8) & 0xff, index & 0xff);
+  return std::string(buf);
+}
+
+/// Places one AP (possibly dual-band, i.e., two MACs) at `pos`.
+void PlaceAp(Environment& env, int& mac_counter, Point pos, int floor,
+             bool dual_band, math::Rng& rng) {
+  AccessPoint ap;
+  ap.position = pos;
+  ap.floor = floor;
+  ap.ref_rss_1m_dbm = rng.Uniform(-45.0, -38.0);
+  if (dual_band) {
+    ap.mac = MakeMac(mac_counter++);
+    ap.band = Band::k2_4GHz;
+    env.AddAccessPoint(ap);
+    ap.mac = MakeMac(mac_counter++);
+    ap.band = Band::k5GHz;
+    env.AddAccessPoint(ap);
+  } else {
+    ap.mac = MakeMac(mac_counter++);
+    ap.band = rng.Bernoulli(0.7) ? Band::k2_4GHz : Band::k5GHz;
+    env.AddAccessPoint(ap);
+  }
+}
+
+/// Uniform point in a ring at [min_d, max_d] outside the fence
+/// rectangle (offset-rectangle parameterization).
+Point RingPoint(const Environment& env, double min_d, double max_d,
+                math::Rng& rng) {
+  const double d = rng.Uniform(min_d, max_d);
+  const double w = env.fence_width() + 2.0 * d;
+  const double h = env.fence_height() + 2.0 * d;
+  const double perim = 2.0 * (w + h);
+  double s = rng.Uniform(0.0, perim);
+  const double x0 = -d;
+  const double y0 = -d;
+  if (s < w) return Point{x0 + s, y0};
+  s -= w;
+  if (s < h) return Point{x0 + w, y0 + s};
+  s -= h;
+  if (s < w) return Point{x0 + w - s, y0 + h};
+  s -= w;
+  return Point{x0, y0 + h - s};
+}
+
+}  // namespace
+
+Environment BuildEnvironment(const ScenarioConfig& config) {
+  GEM_CHECK(config.width_m > 0 && config.height_m > 0);
+  math::Rng rng(config.seed);
+  Environment env;
+  env.SetFence(config.width_m, config.height_m, config.floors);
+  env.AddExteriorWalls(config.exterior_wall_db);
+
+  // Interior partitions: alternating vertical/horizontal segments.
+  for (int i = 0; i < config.interior_walls; ++i) {
+    Wall wall;
+    wall.attenuation_db = config.interior_wall_db;
+    wall.extra_5ghz_db = 2.0;
+    wall.floor = config.floors > 1 ? i % config.floors : 0;
+    if (i % 2 == 0) {
+      const double x = rng.Uniform(0.25, 0.75) * config.width_m;
+      wall.a = Point{x, 0.0};
+      wall.b = Point{x, rng.Uniform(0.5, 0.9) * config.height_m};
+    } else {
+      const double y = rng.Uniform(0.25, 0.75) * config.height_m;
+      wall.a = Point{0.0, y};
+      wall.b = Point{rng.Uniform(0.5, 0.9) * config.width_m, y};
+    }
+    env.AddWall(wall);
+  }
+
+  int mac_counter = static_cast<int>(config.seed % 1000) * 1000;
+  for (int i = 0; i < config.inside_aps; ++i) {
+    const Point pos{rng.Uniform(0.15, 0.85) * config.width_m,
+                    rng.Uniform(0.15, 0.85) * config.height_m};
+    const int floor = config.floors > 1 ? i % config.floors : 0;
+    PlaceAp(env, mac_counter, pos, floor,
+            rng.Bernoulli(config.dual_band_fraction), rng);
+  }
+  for (int i = 0; i < config.near_aps; ++i) {
+    PlaceAp(env, mac_counter, RingPoint(env, 2.0, 12.0, rng),
+            config.floors > 1 ? rng.UniformInt(config.floors) : 0,
+            rng.Bernoulli(config.dual_band_fraction), rng);
+  }
+  for (int i = 0; i < config.far_aps; ++i) {
+    PlaceAp(env, mac_counter, RingPoint(env, 12.0, 30.0, rng),
+            0, rng.Bernoulli(config.dual_band_fraction), rng);
+  }
+  return env;
+}
+
+ScenarioConfig HomePreset(int user_index) {
+  GEM_CHECK(user_index >= 0 && user_index < 10);
+  // Mirrors Table II: {area m^2, target MAC count}. AP counts below are
+  // chosen so the emitted MAC count (with the dual-band fraction)
+  // roughly matches the paper's per-user #MACs column.
+  ScenarioConfig c;
+  c.seed = 1000 + static_cast<uint64_t>(user_index);
+  switch (user_index) {
+    case 0:  // ~10 m^2 dorm, 20 MACs
+      c = {"user1_dorm", 4.0, 2.5, 1, 1, 8, 5, 0.4, 1, 3.0, 8.0, c.seed};
+      break;
+    case 1:  // ~10 m^2 dorm, 26 MACs
+      c = {"user2_dorm", 3.5, 3.0, 1, 1, 10, 7, 0.4, 1, 3.0, 8.0, c.seed};
+      break;
+    case 2:  // ~50 m^2 apartment, 33 MACs
+      c = {"user3_apt", 8.0, 6.0, 1, 2, 13, 8, 0.4, 2, 3.0, 8.0, c.seed};
+      break;
+    case 3:  // ~50 m^2 apartment, 16 MACs
+      c = {"user4_apt", 8.0, 6.5, 1, 1, 6, 4, 0.4, 2, 3.0, 8.0, c.seed};
+      break;
+    case 4:  // ~50 m^2 apartment, 20 MACs
+      c = {"user5_apt", 7.0, 7.0, 1, 1, 8, 5, 0.4, 2, 3.0, 8.0, c.seed};
+      break;
+    case 5:  // ~100 m^2 apartment, 65 MACs
+      c = {"user6_apt", 12.0, 8.5, 1, 2, 26, 18, 0.4, 3, 3.0, 8.0, c.seed};
+      break;
+    case 6:  // ~100 m^2 apartment, 45 MACs
+      c = {"user7_apt", 11.0, 9.0, 1, 2, 18, 12, 0.4, 3, 3.0, 8.0, c.seed};
+      break;
+    case 7:  // ~100 m^2 apartment, 73 MACs
+      c = {"user8_apt", 12.5, 8.0, 1, 2, 30, 20, 0.4, 3, 3.0, 8.0, c.seed};
+      break;
+    case 8:  // ~100 m^2 apartment, 57 MACs
+      c = {"user9_apt", 10.0, 10.0, 1, 2, 22, 16, 0.4, 3, 3.0, 8.0, c.seed};
+      break;
+    case 9:  // ~200 m^2 detached two-story house, 12 MACs
+      c = {"user10_house", 12.0, 8.5, 2, 2, 4, 2, 0.4, 2, 3.0, 9.0,
+           c.seed};
+      break;
+  }
+  return c;
+}
+
+ScenarioConfig LabPreset() {
+  ScenarioConfig c;
+  c.name = "lab";
+  c.width_m = 12.0;
+  c.height_m = 8.5;
+  c.floors = 1;
+  c.inside_aps = 8;  // an office floor is dense with managed APs
+  c.near_aps = 20;
+  c.far_aps = 14;
+  c.dual_band_fraction = 0.5;
+  c.interior_walls = 3;
+  c.exterior_wall_db = 6.0;  // office drywall + glass
+  c.seed = 4242;
+  return c;
+}
+
+int TotalMacs(const Environment& env) {
+  std::set<std::string> macs;
+  for (const AccessPoint& ap : env.access_points()) macs.insert(ap.mac);
+  return static_cast<int>(macs.size());
+}
+
+}  // namespace gem::rf

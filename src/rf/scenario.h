@@ -1,0 +1,54 @@
+#ifndef GEM_RF_SCENARIO_H_
+#define GEM_RF_SCENARIO_H_
+
+#include <string>
+
+#include "rf/environment.h"
+#include "rf/propagation.h"
+
+namespace gem::rf {
+
+/// Declarative description of a simulated premises and its ambient RF
+/// neighborhood; BuildEnvironment turns it into a concrete Environment
+/// with deterministic (seeded) AP/wall placement.
+struct ScenarioConfig {
+  std::string name = "home";
+  double width_m = 8.0;
+  double height_m = 6.0;
+  int floors = 1;
+
+  /// APs physically inside the fence (the home's own router(s)).
+  int inside_aps = 1;
+  /// Neighbor APs in a near ring just outside (2-12 m from boundary).
+  int near_aps = 8;
+  /// Distant ambient APs (12-30 m).
+  int far_aps = 6;
+  /// Fraction of APs that are dual-band (emit a 2.4 GHz MAC and a
+  /// 5 GHz MAC from the same position).
+  double dual_band_fraction = 0.4;
+
+  /// Interior partitions (count) splitting the premises.
+  int interior_walls = 2;
+  double interior_wall_db = 3.0;
+  /// Exterior (boundary) wall attenuation; brick ~8-10 dB.
+  double exterior_wall_db = 9.0;
+
+  uint64_t seed = 1;
+};
+
+/// Materializes the scenario: fence + walls + deterministic AP layout.
+Environment BuildEnvironment(const ScenarioConfig& config);
+
+/// The ten home presets of Table II (areas ~10 to ~200 m^2, MAC counts
+/// from ~12 to ~73). `user_index` in [0, 10).
+ScenarioConfig HomePreset(int user_index);
+
+/// The ~100 m^2 lab with a busy corridor used in Section VI-D.
+ScenarioConfig LabPreset();
+
+/// Number of distinct MACs the scenario's environment emits.
+int TotalMacs(const Environment& env);
+
+}  // namespace gem::rf
+
+#endif  // GEM_RF_SCENARIO_H_

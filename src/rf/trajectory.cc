@@ -1,0 +1,117 @@
+#include "rf/trajectory.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace gem::rf {
+namespace {
+
+/// Position along the rectangle perimeter (counterclockwise from the
+/// bottom-left corner), parameterized by arc length s in [0, perim).
+Point PerimeterPoint(double x0, double y0, double w, double h, double s) {
+  const double perim = 2.0 * (w + h);
+  s = std::fmod(s, perim);
+  if (s < 0.0) s += perim;
+  if (s < w) return Point{x0 + s, y0};
+  s -= w;
+  if (s < h) return Point{x0 + w, y0 + s};
+  s -= h;
+  if (s < w) return Point{x0 + w - s, y0 + h};
+  s -= w;
+  return Point{x0, y0 + h - s};
+}
+
+}  // namespace
+
+Trajectory PerimeterWalk(const Environment& env, double speed_mps,
+                         double duration_s, double scan_interval_s,
+                         double margin_m) {
+  GEM_CHECK(speed_mps > 0.0 && duration_s > 0.0 && scan_interval_s > 0.0);
+  const double w = std::max(env.fence_width() - 2.0 * margin_m, 0.1);
+  const double h = std::max(env.fence_height() - 2.0 * margin_m, 0.1);
+  const double perim = 2.0 * (w + h);
+  const double lap_time = perim / speed_mps;
+
+  Trajectory traj;
+  for (double t = 0.0; t < duration_s; t += scan_interval_s) {
+    const double s = speed_mps * t;
+    TimedPoint tp;
+    tp.position = PerimeterPoint(margin_m, margin_m, w, h, s);
+    tp.time_s = t;
+    // Alternate floors per lap on multi-story premises.
+    if (env.floors() > 1) {
+      tp.floor = static_cast<int>(std::floor(t / lap_time)) % env.floors();
+    }
+    traj.push_back(tp);
+  }
+  return traj;
+}
+
+Trajectory RandomWaypointInside(const Environment& env, double speed_mps,
+                                double duration_s, double scan_interval_s,
+                                math::Rng& rng) {
+  GEM_CHECK(speed_mps > 0.0 && duration_s > 0.0 && scan_interval_s > 0.0);
+  Trajectory traj;
+  Point pos{env.fence_width() / 2.0, env.fence_height() / 2.0};
+  int floor = 0;
+  Point target{rng.Uniform(0.0, env.fence_width()),
+               rng.Uniform(0.0, env.fence_height())};
+  for (double t = 0.0; t < duration_s; t += scan_interval_s) {
+    traj.push_back(TimedPoint{pos, floor, t});
+    double remaining = speed_mps * scan_interval_s;
+    while (remaining > 0.0) {
+      const double dx = target.x - pos.x;
+      const double dy = target.y - pos.y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist <= remaining) {
+        pos = target;
+        remaining -= dist;
+        target = Point{rng.Uniform(0.0, env.fence_width()),
+                       rng.Uniform(0.0, env.fence_height())};
+        if (env.floors() > 1 && rng.Bernoulli(0.1)) {
+          floor = rng.UniformInt(env.floors());
+        }
+      } else {
+        pos.x += dx / dist * remaining;
+        pos.y += dy / dist * remaining;
+        remaining = 0.0;
+      }
+    }
+  }
+  return traj;
+}
+
+Trajectory OutsideWalk(const Environment& env, double min_distance_m,
+                       double max_distance_m, double speed_mps,
+                       double duration_s, double scan_interval_s,
+                       math::Rng& rng) {
+  GEM_CHECK(max_distance_m >= min_distance_m && min_distance_m >= 0.0);
+  GEM_CHECK(speed_mps > 0.0 && duration_s > 0.0 && scan_interval_s > 0.0);
+  Trajectory traj;
+  // Walk rings around the fence: each segment follows an offset
+  // rectangle at a random distance within [min, max].
+  double t = 0.0;
+  while (t < duration_s) {
+    const double d = rng.Uniform(min_distance_m, max_distance_m);
+    const double x0 = -d;
+    const double y0 = -d;
+    const double w = env.fence_width() + 2.0 * d;
+    const double h = env.fence_height() + 2.0 * d;
+    const double perim = 2.0 * (w + h);
+    const double start = rng.Uniform(0.0, perim);
+    // One partial lap per ring, then re-randomize the distance.
+    const double lap_duration =
+        std::min(perim / speed_mps, duration_s - t);
+    for (double u = 0.0; u < lap_duration; u += scan_interval_s) {
+      TimedPoint tp;
+      tp.position = PerimeterPoint(x0, y0, w, h, start + speed_mps * u);
+      tp.time_s = t + u;
+      traj.push_back(tp);
+    }
+    t += lap_duration;
+  }
+  return traj;
+}
+
+}  // namespace gem::rf

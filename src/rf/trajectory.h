@@ -1,0 +1,50 @@
+#ifndef GEM_RF_TRAJECTORY_H_
+#define GEM_RF_TRAJECTORY_H_
+
+#include <vector>
+
+#include "math/rng.h"
+#include "rf/environment.h"
+#include "rf/types.h"
+
+namespace gem::rf {
+
+/// A position at a time, on a floor.
+struct TimedPoint {
+  Point position;
+  int floor = 0;
+  double time_s = 0.0;
+};
+
+/// A timed sequence of positions; the scanner samples one record per
+/// point.
+using Trajectory = std::vector<TimedPoint>;
+
+/// Walks the inner perimeter of the fence (inset by `margin_m`) at
+/// `speed_mps`, looping until `duration_s` elapses, emitting a point
+/// every `scan_interval_s`. Multi-floor fences alternate floors between
+/// laps (the paper's user walks both stories). This reproduces the
+/// paper's initial training procedure.
+Trajectory PerimeterWalk(const Environment& env, double speed_mps,
+                         double duration_s, double scan_interval_s,
+                         double margin_m = 0.5);
+
+/// Random-waypoint movement inside the fence: pick a uniform target,
+/// walk to it at `speed_mps`, repeat; one point per scan interval.
+/// Models the user "living as usual" inside.
+Trajectory RandomWaypointInside(const Environment& env, double speed_mps,
+                                double duration_s, double scan_interval_s,
+                                math::Rng& rng);
+
+/// Positions outside the fence in a ring at distances
+/// [min_distance_m, max_distance_m] from the fence boundary, moving
+/// around the premises. Includes positions just past the boundary
+/// (near-outside, the hard cases) when min_distance_m is small.
+Trajectory OutsideWalk(const Environment& env, double min_distance_m,
+                       double max_distance_m, double speed_mps,
+                       double duration_s, double scan_interval_s,
+                       math::Rng& rng);
+
+}  // namespace gem::rf
+
+#endif  // GEM_RF_TRAJECTORY_H_

@@ -1,0 +1,45 @@
+#ifndef GEM_RF_TYPES_H_
+#define GEM_RF_TYPES_H_
+
+#include <string>
+#include <vector>
+
+namespace gem::rf {
+
+/// 2-D position in meters (per-floor coordinates).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// WiFi frequency band of a transmitter. Higher bands attenuate more
+/// through walls, which the paper's Figure 15(d) exploits: 5 GHz signals
+/// are better confined to the premises.
+enum class Band { k2_4GHz, k5GHz };
+
+/// One sensed (MAC, RSS) pair inside a scan record. The band is known
+/// from the scanned channel on real hardware and is carried here so the
+/// band-availability experiment can filter records.
+struct Reading {
+  std::string mac;
+  double rss_dbm = -100.0;
+  Band band = Band::k2_4GHz;
+};
+
+/// A single RF signal record: the variable-length list of APs (by MAC)
+/// a scan sensed, with their RSS values. Ground-truth fields are filled
+/// by the simulator and used only for evaluation, never by the
+/// algorithms.
+struct ScanRecord {
+  std::vector<Reading> readings;
+  double timestamp_s = 0.0;
+
+  // Ground truth (simulator-only).
+  Point position;
+  int floor = 0;
+  bool inside = false;
+};
+
+}  // namespace gem::rf
+
+#endif  // GEM_RF_TYPES_H_

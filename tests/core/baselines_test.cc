@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/embedding_pipeline.h"
+#include "core/inoa.h"
+#include "core/signature_home.h"
+#include "detect/iforest.h"
+#include "embed/matrix_rep.h"
+#include "math/metrics.h"
+#include "rf/dataset.h"
+
+namespace gem::core {
+namespace {
+
+rf::Dataset SmallDataset(int user = 2, uint64_t seed = 91) {
+  rf::DatasetOptions options;
+  options.train_duration_s = 300.0;
+  options.test_segments = 4;
+  options.test_segment_duration_s = 90.0;
+  options.seed = seed;
+  return rf::GenerateScenarioDataset(rf::HomePreset(user), options);
+}
+
+math::InOutMetrics Evaluate(GeofencingSystem& system,
+                            const rf::Dataset& data) {
+  std::vector<bool> actual;
+  std::vector<bool> predicted;
+  for (const rf::ScanRecord& record : data.test) {
+    const InferenceResult result = system.Infer(record);
+    actual.push_back(record.inside);
+    predicted.push_back(result.decision == Decision::kInside);
+  }
+  return math::ComputeInOutMetrics(actual, predicted);
+}
+
+TEST(SignatureHomeTest, RejectsTinyTraining) {
+  SignatureHome system;
+  EXPECT_FALSE(system.Train({}).ok());
+  EXPECT_FALSE(system.Train({rf::ScanRecord{}}).ok());
+}
+
+TEST(SignatureHomeTest, ReasonableInsideDetection) {
+  const rf::Dataset data = SmallDataset();
+  SignatureHome system;
+  ASSERT_TRUE(system.Train(data.train).ok());
+  const math::InOutMetrics m = Evaluate(system, data);
+  // SignatureHome's paper-reported profile: strong in-premises
+  // detection; outside detection may lag.
+  EXPECT_GT(m.f_in, 0.7);
+}
+
+TEST(SignatureHomeTest, EmptyRecordIsOutside) {
+  const rf::Dataset data = SmallDataset();
+  SignatureHome system;
+  ASSERT_TRUE(system.Train(data.train).ok());
+  EXPECT_EQ(system.Infer(rf::ScanRecord{}).decision, Decision::kOutside);
+}
+
+TEST(SignatureHomeTest, FarAwayRecordIsOutside) {
+  const rf::Dataset data = SmallDataset();
+  SignatureHome system;
+  ASSERT_TRUE(system.Train(data.train).ok());
+  rf::ScanRecord far;
+  far.readings.push_back(
+      rf::Reading{"ff:ff:00:00:00:01", -60.0, rf::Band::k2_4GHz});
+  EXPECT_EQ(system.Infer(far).decision, Decision::kOutside);
+}
+
+TEST(InoaTest, RejectsEmptyTraining) {
+  Inoa system;
+  EXPECT_FALSE(system.Train({}).ok());
+}
+
+TEST(InoaTest, BuildsPairModels) {
+  const rf::Dataset data = SmallDataset();
+  Inoa system;
+  ASSERT_TRUE(system.Train(data.train).ok());
+  EXPECT_GT(system.num_modeled_pairs(), 10);
+}
+
+TEST(InoaTest, DetectsFarOutside) {
+  const rf::Dataset data = SmallDataset();
+  Inoa system;
+  ASSERT_TRUE(system.Train(data.train).ok());
+  rf::ScanRecord far;
+  far.readings.push_back(
+      rf::Reading{"ff:ff:00:00:00:01", -60.0, rf::Band::k2_4GHz});
+  EXPECT_EQ(system.Infer(far).decision, Decision::kOutside);
+}
+
+TEST(InoaTest, ReasonableOverallQuality) {
+  const rf::Dataset data = SmallDataset();
+  Inoa system;
+  ASSERT_TRUE(system.Train(data.train).ok());
+  const math::InOutMetrics m = Evaluate(system, data);
+  EXPECT_GT(m.f_in + m.f_out, 1.0);
+}
+
+TEST(EmbeddingPipelineTest, RawPlusIForestWorksEndToEnd) {
+  const rf::Dataset data = SmallDataset();
+  EmbeddingPipeline pipeline(
+      "raw+iforest", std::make_unique<embed::RawVectorEmbedder>(),
+      std::make_unique<detect::IsolationForest>());
+  ASSERT_TRUE(pipeline.Train(data.train).ok());
+  const math::InOutMetrics m = Evaluate(pipeline, data);
+  EXPECT_GT(m.f_in, 0.5);
+  EXPECT_EQ(pipeline.name(), "raw+iforest");
+}
+
+TEST(EmbeddingPipelineTest, PropagatesEmbedderFailure) {
+  EmbeddingPipeline pipeline(
+      "raw+iforest", std::make_unique<embed::RawVectorEmbedder>(),
+      std::make_unique<detect::IsolationForest>());
+  EXPECT_FALSE(pipeline.Train({}).ok());
+}
+
+}  // namespace
+}  // namespace gem::core

@@ -1,0 +1,60 @@
+#include "detect/feature_bagging.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/detect/test_blobs.h"
+
+namespace gem::detect {
+namespace {
+
+using testing::BimodalNormal;
+using testing::FarOutliers;
+using testing::FreshInliers;
+using testing::OutlierRate;
+
+TEST(FeatureBaggingTest, RejectsBadInput) {
+  FeatureBagging fb;
+  EXPECT_FALSE(fb.Fit({}).ok());
+  EXPECT_FALSE(fb.Fit({{1.0}, {2.0}, {3.0}, {4.0}}).ok());  // 1-D
+}
+
+TEST(FeatureBaggingTest, UsesRequestedRounds) {
+  FeatureBaggingOptions options;
+  options.rounds = 5;
+  FeatureBagging fb(options);
+  ASSERT_TRUE(fb.Fit(BimodalNormal(100, 6, 1)).ok());
+  EXPECT_EQ(fb.rounds_used(), 5);
+}
+
+TEST(FeatureBaggingTest, SeparatesBlobsFromOutliers) {
+  FeatureBagging fb;
+  ASSERT_TRUE(fb.Fit(BimodalNormal(200, 6, 2)).ok());
+  EXPECT_GE(OutlierRate(fb, FarOutliers(50, 6, 2)), 0.95);
+  EXPECT_LE(OutlierRate(fb, FreshInliers(100, 6, 2)), 0.35);
+}
+
+TEST(FeatureBaggingTest, ScoreIsCumulative) {
+  // Combined score is approximately rounds x per-round LOF scale.
+  FeatureBaggingOptions options;
+  options.rounds = 10;
+  FeatureBagging fb(options);
+  ASSERT_TRUE(fb.Fit(BimodalNormal(200, 6, 3)).ok());
+  const auto inliers = FreshInliers(20, 6, 3);
+  double mean = 0.0;
+  for (const auto& x : inliers) mean += fb.Score(x);
+  mean /= inliers.size();
+  EXPECT_NEAR(mean, 10.0, 4.0);
+}
+
+TEST(FeatureBaggingTest, DeterministicForSeed) {
+  const auto train = BimodalNormal(100, 5, 4);
+  FeatureBagging a;
+  FeatureBagging b;
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  const auto probe = FarOutliers(1, 5, 4)[0];
+  EXPECT_DOUBLE_EQ(a.Score(probe), b.Score(probe));
+}
+
+}  // namespace
+}  // namespace gem::detect

@@ -1,0 +1,82 @@
+#include "detect/iforest.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/detect/test_blobs.h"
+
+namespace gem::detect {
+namespace {
+
+using testing::BimodalNormal;
+using testing::FarOutliers;
+using testing::FreshInliers;
+using testing::OutlierRate;
+
+TEST(IsolationForestTest, RejectsEmptyTraining) {
+  IsolationForest forest;
+  EXPECT_FALSE(forest.Fit({}).ok());
+}
+
+TEST(IsolationForestTest, SeparatesBlobsFromOutliers) {
+  IsolationForest forest;
+  ASSERT_TRUE(forest.Fit(BimodalNormal(300, 4, 1)).ok());
+  EXPECT_GE(OutlierRate(forest, FarOutliers(50, 4, 1)), 0.95);
+  EXPECT_LE(OutlierRate(forest, FreshInliers(100, 4, 1)), 0.35);
+}
+
+TEST(IsolationForestTest, OutliersScoreHigher) {
+  IsolationForest forest;
+  ASSERT_TRUE(forest.Fit(BimodalNormal(300, 4, 2)).ok());
+  double s_out = 0.0;
+  double s_in = 0.0;
+  const auto outliers = FarOutliers(30, 4, 2);
+  const auto inliers = FreshInliers(30, 4, 2);
+  for (const auto& x : outliers) s_out += forest.Score(x);
+  for (const auto& x : inliers) s_in += forest.Score(x);
+  EXPECT_GT(s_out / outliers.size(), s_in / inliers.size() + 0.1);
+}
+
+TEST(IsolationForestTest, ScoreInUnitRange) {
+  IsolationForest forest;
+  ASSERT_TRUE(forest.Fit(BimodalNormal(100, 3, 3)).ok());
+  for (const auto& x : FarOutliers(10, 3, 3)) {
+    const double s = forest.Score(x);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, DeterministicForSeed) {
+  const auto train = BimodalNormal(100, 3, 4);
+  IsolationForest a;
+  IsolationForest b;
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  const auto probes = FarOutliers(5, 3, 4);
+  for (const auto& x : probes) {
+    EXPECT_DOUBLE_EQ(a.Score(x), b.Score(x));
+  }
+}
+
+TEST(IsolationForestTest, HandlesDuplicatePoints) {
+  // All-identical training data must not crash or loop; the forest
+  // degenerates to single-leaf trees where every query path length is
+  // c(psi), i.e. a constant score of 0.5.
+  std::vector<math::Vec> dup(50, math::Vec{1.0, 2.0});
+  IsolationForest forest;
+  ASSERT_TRUE(forest.Fit(dup).ok());
+  EXPECT_DOUBLE_EQ(forest.Score({50.0, 50.0}), 0.5);
+  EXPECT_DOUBLE_EQ(forest.Score({1.0, 2.0}), 0.5);
+}
+
+TEST(IsolationForestTest, SubsampleSmallerThanData) {
+  IForestOptions options;
+  options.subsample = 32;
+  options.num_trees = 50;
+  IsolationForest forest(options);
+  ASSERT_TRUE(forest.Fit(BimodalNormal(500, 4, 5)).ok());
+  EXPECT_GE(OutlierRate(forest, FarOutliers(30, 4, 5)), 0.9);
+}
+
+}  // namespace
+}  // namespace gem::detect

@@ -1,0 +1,68 @@
+#include "detect/lof.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/detect/test_blobs.h"
+
+namespace gem::detect {
+namespace {
+
+using testing::BimodalNormal;
+using testing::FarOutliers;
+using testing::FreshInliers;
+using testing::OutlierRate;
+
+TEST(LofDetectorTest, RejectsTinyTraining) {
+  LofDetector lof;
+  EXPECT_FALSE(lof.Fit({{1.0}, {2.0}}).ok());
+}
+
+TEST(LofDetectorTest, InlierScoresNearOne) {
+  LofDetector lof;
+  ASSERT_TRUE(lof.Fit(BimodalNormal(200, 4, 1)).ok());
+  double mean = 0.0;
+  const auto inliers = FreshInliers(50, 4, 1);
+  for (const auto& x : inliers) mean += lof.Score(x);
+  mean /= inliers.size();
+  EXPECT_NEAR(mean, 1.0, 0.3);
+}
+
+TEST(LofDetectorTest, OutliersScoreWellAboveOne) {
+  LofDetector lof;
+  ASSERT_TRUE(lof.Fit(BimodalNormal(200, 4, 2)).ok());
+  for (const auto& x : FarOutliers(20, 4, 2)) {
+    EXPECT_GT(lof.Score(x), 1.5);
+  }
+}
+
+TEST(LofDetectorTest, SeparatesBlobsFromOutliers) {
+  LofDetector lof;
+  ASSERT_TRUE(lof.Fit(BimodalNormal(200, 4, 3)).ok());
+  EXPECT_GE(OutlierRate(lof, FarOutliers(50, 4, 3)), 0.95);
+  EXPECT_LE(OutlierRate(lof, FreshInliers(100, 4, 3)), 0.35);
+}
+
+TEST(LofDetectorTest, KLargerThanDataIsClamped) {
+  LofOptions options;
+  options.k = 100;
+  LofDetector lof(options);
+  ASSERT_TRUE(lof.Fit(BimodalNormal(20, 3, 4)).ok());
+  EXPECT_GT(lof.Score(FarOutliers(1, 3, 4)[0]), 1.0);
+}
+
+TEST(LofDetectorTest, LocalDensityMatters) {
+  // A point at the edge of a tight cluster is more outlying than a
+  // point inside a loose cluster at the same absolute distance.
+  math::Rng rng(5);
+  std::vector<math::Vec> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({rng.Normal(0.0, 0.05), rng.Normal(0.0, 0.05)});  // tight
+    data.push_back({rng.Normal(5.0, 1.0), rng.Normal(5.0, 1.0)});    // loose
+  }
+  LofDetector lof;
+  ASSERT_TRUE(lof.Fit(data).ok());
+  EXPECT_GT(lof.Score({0.8, 0.8}), lof.Score({5.8, 5.8}));
+}
+
+}  // namespace
+}  // namespace gem::detect

@@ -1,0 +1,71 @@
+#include "detect/svdd.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/detect/test_blobs.h"
+
+namespace gem::detect {
+namespace {
+
+using testing::BimodalNormal;
+using testing::FarOutliers;
+using testing::FreshInliers;
+using testing::OutlierRate;
+
+TEST(SvddTest, RejectsTinyTraining) {
+  SvddDetector svdd;
+  EXPECT_FALSE(svdd.Fit({{1.0}}).ok());
+}
+
+TEST(SvddTest, SeparatesBlobFromOutliers) {
+  SvddDetector svdd;
+  ASSERT_TRUE(svdd.Fit(BimodalNormal(150, 3, 1)).ok());
+  EXPECT_GE(OutlierRate(svdd, FarOutliers(40, 3, 1)), 0.95);
+  EXPECT_LE(OutlierRate(svdd, FreshInliers(80, 3, 1)), 0.4);
+}
+
+TEST(SvddTest, AlphaRespectsNu) {
+  // With nu = 0.1, roughly 10% of the training points may fall outside
+  // the sphere; the decision must not flag dramatically more.
+  SvddOptions options;
+  options.nu = 0.1;
+  SvddDetector svdd(options);
+  const auto train = BimodalNormal(150, 3, 2);
+  ASSERT_TRUE(svdd.Fit(train).ok());
+  EXPECT_LE(OutlierRate(svdd, train), 0.3);
+}
+
+TEST(SvddTest, RadiusIsPositive) {
+  SvddDetector svdd;
+  ASSERT_TRUE(svdd.Fit(BimodalNormal(100, 3, 3)).ok());
+  EXPECT_GT(svdd.radius_squared(), 0.0);
+}
+
+TEST(SvddTest, SupportVectorsAreSparse) {
+  SvddDetector svdd;
+  ASSERT_TRUE(svdd.Fit(BimodalNormal(200, 3, 4)).ok());
+  EXPECT_LT(svdd.num_support_vectors(), 200);
+  EXPECT_GT(svdd.num_support_vectors(), 0);
+}
+
+TEST(SvddTest, ScoreIncreasesWithDistance) {
+  SvddDetector svdd;
+  ASSERT_TRUE(svdd.Fit(BimodalNormal(150, 2, 5)).ok());
+  double prev = svdd.Score({0.0, 0.0});
+  for (double r = 2.0; r <= 6.0; r += 1.0) {
+    const double s = svdd.Score({r, r});
+    EXPECT_GE(s, prev - 1e-9);
+    prev = s;
+  }
+}
+
+TEST(SvddTest, ExplicitGammaRespected) {
+  SvddOptions options;
+  options.gamma = 0.5;
+  SvddDetector svdd(options);
+  ASSERT_TRUE(svdd.Fit(BimodalNormal(100, 2, 6)).ok());
+  EXPECT_GE(OutlierRate(svdd, FarOutliers(20, 2, 6)), 0.9);
+}
+
+}  // namespace
+}  // namespace gem::detect

@@ -1,0 +1,57 @@
+#ifndef GEM_TESTS_DETECT_TEST_BLOBS_H_
+#define GEM_TESTS_DETECT_TEST_BLOBS_H_
+
+#include <vector>
+
+#include "math/rng.h"
+#include "math/vec.h"
+
+namespace gem::detect::testing {
+
+/// Normal data: a bimodal blob (two Gaussian clusters), mimicking the
+/// multimodal in-premises embedding distribution the paper motivates.
+inline std::vector<gem::math::Vec> BimodalNormal(int n, int dim,
+                                                 uint64_t seed) {
+  gem::math::Rng rng(seed);
+  std::vector<gem::math::Vec> data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double center = i % 2 == 0 ? -1.0 : 1.0;
+    gem::math::Vec x(dim);
+    for (int k = 0; k < dim; ++k) x[k] = rng.Normal(center, 0.15);
+    data.push_back(std::move(x));
+  }
+  return data;
+}
+
+/// Points far from both modes (clear outliers).
+inline std::vector<gem::math::Vec> FarOutliers(int n, int dim,
+                                               uint64_t seed) {
+  gem::math::Rng rng(seed);
+  std::vector<gem::math::Vec> data;
+  for (int i = 0; i < n; ++i) {
+    gem::math::Vec x(dim);
+    for (int k = 0; k < dim; ++k) x[k] = rng.Normal(5.0, 0.3);
+    data.push_back(std::move(x));
+  }
+  return data;
+}
+
+/// Fresh inliers drawn from the same bimodal distribution.
+inline std::vector<gem::math::Vec> FreshInliers(int n, int dim,
+                                                uint64_t seed) {
+  return BimodalNormal(n, dim, seed ^ 0xF00DULL);
+}
+
+/// Fraction of samples the detector flags as outliers.
+template <typename Detector>
+double OutlierRate(const Detector& detector,
+                   const std::vector<gem::math::Vec>& samples) {
+  int flagged = 0;
+  for (const auto& x : samples) flagged += detector.IsOutlier(x) ? 1 : 0;
+  return static_cast<double>(flagged) / samples.size();
+}
+
+}  // namespace gem::detect::testing
+
+#endif  // GEM_TESTS_DETECT_TEST_BLOBS_H_

@@ -1,0 +1,91 @@
+#include "embed/autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vec.h"
+#include "tests/embed/test_records.h"
+
+namespace gem::embed {
+namespace {
+
+using testing::MakeTwoClusters;
+using testing::SeparationRatio;
+
+AutoencoderConfig FastConfig() {
+  AutoencoderConfig config;
+  config.hidden = 32;
+  config.bottleneck = 8;
+  config.epochs = 40;
+  config.seed = 3;
+  return config;
+}
+
+TEST(AutoencoderTest, RejectsEmptyTraining) {
+  AutoencoderEmbedder embedder(FastConfig());
+  EXPECT_FALSE(embedder.Fit({}).ok());
+}
+
+TEST(AutoencoderTest, LearnsToReconstruct) {
+  const auto data = MakeTwoClusters(20, 1);
+  AutoencoderConfig few = FastConfig();
+  few.epochs = 1;
+  AutoencoderEmbedder short_run(few);
+  ASSERT_TRUE(short_run.Fit(data.records).ok());
+
+  AutoencoderEmbedder long_run(FastConfig());
+  ASSERT_TRUE(long_run.Fit(data.records).ok());
+  EXPECT_LT(long_run.final_loss(), short_run.final_loss());
+}
+
+TEST(AutoencoderTest, EmbeddingDimensionIsBottleneck) {
+  const auto data = MakeTwoClusters(10, 2);
+  AutoencoderEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  EXPECT_EQ(embedder.dimension(), 8);
+  EXPECT_EQ(embedder.TrainEmbedding(0).size(), 8u);
+}
+
+TEST(AutoencoderTest, SeparatesClusters) {
+  const auto data = MakeTwoClusters(20, 3);
+  AutoencoderEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  std::vector<math::Vec> embeddings;
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    embeddings.push_back(embedder.TrainEmbedding(i));
+  }
+  EXPECT_LT(SeparationRatio(embeddings, data.per_cluster), 0.9);
+}
+
+TEST(AutoencoderTest, DeterministicForSeed) {
+  const auto data = MakeTwoClusters(10, 4);
+  AutoencoderEmbedder a(FastConfig());
+  AutoencoderEmbedder b(FastConfig());
+  ASSERT_TRUE(a.Fit(data.records).ok());
+  ASSERT_TRUE(b.Fit(data.records).ok());
+  const math::Vec ea = a.TrainEmbedding(3);
+  const math::Vec eb = b.TrainEmbedding(3);
+  for (size_t k = 0; k < ea.size(); ++k) EXPECT_DOUBLE_EQ(ea[k], eb[k]);
+}
+
+TEST(AutoencoderTest, EmbedNewMatchesTrainPath) {
+  const auto data = MakeTwoClusters(10, 5);
+  AutoencoderEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  // Embedding the exact training record again gives the same code.
+  const auto e = embedder.EmbedNew(data.records[0]);
+  ASSERT_TRUE(e.has_value());
+  const math::Vec t = embedder.TrainEmbedding(0);
+  for (size_t k = 0; k < t.size(); ++k) EXPECT_DOUBLE_EQ((*e)[k], t[k]);
+}
+
+TEST(AutoencoderTest, UnknownOnlyRecordUnembeddable) {
+  const auto data = MakeTwoClusters(10, 6);
+  AutoencoderEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  rf::ScanRecord alien;
+  alien.readings.push_back(rf::Reading{"xyz", -60.0, rf::Band::k2_4GHz});
+  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+}
+
+}  // namespace
+}  // namespace gem::embed

@@ -1,0 +1,124 @@
+// Tests of BiSAGE's ablation switch and robustness-oriented inference
+// rules (singleton-MAC and post-training-MAC filtering).
+
+#include <gtest/gtest.h>
+
+#include "embed/bisage.h"
+#include "math/vec.h"
+#include "tests/embed/test_records.h"
+
+namespace gem::embed {
+namespace {
+
+using testing::MakeTwoClusters;
+using testing::SeparationRatio;
+
+BiSageConfig FastConfig() {
+  BiSageConfig config;
+  config.dimension = 16;
+  config.epochs = 3;
+  config.seed = 3;
+  return config;
+}
+
+TEST(BiSageAblationTest, UniformSamplingStillTrains) {
+  const auto data = MakeTwoClusters(15, 1);
+  BiSageConfig config = FastConfig();
+  config.use_edge_weights = false;
+  BiSageEmbedder embedder(config);
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    EXPECT_NEAR(math::Norm2(embedder.TrainEmbedding(i)), 1.0, 1e-9);
+  }
+  // Still separates the (strongly weight-distinct) clusters somewhat.
+  std::vector<math::Vec> embeddings;
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    embeddings.push_back(embedder.TrainEmbedding(i));
+  }
+  EXPECT_LT(SeparationRatio(embeddings, data.per_cluster), 1.0);
+}
+
+TEST(BiSageAblationTest, UniformAndWeightedDiffer) {
+  const auto data = MakeTwoClusters(12, 2);
+  BiSageConfig weighted = FastConfig();
+  BiSageConfig uniform = FastConfig();
+  uniform.use_edge_weights = false;
+  BiSageEmbedder a(weighted);
+  BiSageEmbedder b(uniform);
+  ASSERT_TRUE(a.Fit(data.records).ok());
+  ASSERT_TRUE(b.Fit(data.records).ok());
+  // Same seeds, but the sampling/aggregation semantics differ, so the
+  // learned embeddings must differ.
+  double total_distance = 0.0;
+  for (int i = 0; i < a.num_train(); ++i) {
+    total_distance += math::Distance(a.TrainEmbedding(i),
+                                     b.TrainEmbedding(i));
+  }
+  EXPECT_GT(total_distance, 0.1);
+}
+
+TEST(BiSageAblationTest, SingletonMacsDoNotPerturbEmbeddings) {
+  // Two copies of a record, one with an extra never-repeating MAC:
+  // the singleton filter must make their embeddings identical.
+  const auto data = MakeTwoClusters(15, 4);
+  BiSageEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+
+  math::Rng rng(8);
+  rf::ScanRecord clean =
+      testing::NoisyRecord({"a0", "a1", "a2", "a3", "a4"}, {}, rng);
+  rf::ScanRecord noisy = clean;
+  noisy.readings.push_back(
+      rf::Reading{"one-shot-phone", -85.0, rf::Band::k2_4GHz});
+
+  BiSageEmbedder fresh(FastConfig());
+  ASSERT_TRUE(fresh.Fit(data.records).ok());
+  const auto e_clean = embedder.EmbedNew(clean);
+  const auto e_noisy = fresh.EmbedNew(noisy);
+  ASSERT_TRUE(e_clean.has_value());
+  ASSERT_TRUE(e_noisy.has_value());
+  for (size_t k = 0; k < e_clean->size(); ++k) {
+    EXPECT_DOUBLE_EQ((*e_clean)[k], (*e_noisy)[k]) << "dim " << k;
+  }
+}
+
+TEST(BiSageAblationTest, PostTrainingMacsExcludedFromAggregation) {
+  // A brand-new AP that keeps recurring after training must not change
+  // the embedding of records that also contain trained MACs.
+  const auto data = MakeTwoClusters(15, 5);
+  BiSageEmbedder with_new(FastConfig());
+  BiSageEmbedder without_new(FastConfig());
+  ASSERT_TRUE(with_new.Fit(data.records).ok());
+  ASSERT_TRUE(without_new.Fit(data.records).ok());
+
+  math::Rng rng(9);
+  // Seed the "new AP" into the with_new graph twice so it passes the
+  // degree filter.
+  for (int i = 0; i < 2; ++i) {
+    rf::ScanRecord seeder = testing::NoisyRecord({"a0", "a1"}, {}, rng);
+    seeder.readings.push_back(
+        rf::Reading{"new-ap", -55.0, rf::Band::k2_4GHz});
+    (void)with_new.EmbedNew(seeder);
+    // Keep graphs aligned: the control sees the same records minus the
+    // new AP.
+    rf::ScanRecord control = seeder;
+    control.readings.pop_back();
+    (void)without_new.EmbedNew(control);
+  }
+
+  rf::ScanRecord probe = testing::NoisyRecord({"a0", "a1", "a2"}, {}, rng);
+  rf::ScanRecord probe_with_new_ap = probe;
+  probe_with_new_ap.readings.push_back(
+      rf::Reading{"new-ap", -50.0, rf::Band::k2_4GHz});
+
+  const auto e1 = with_new.EmbedNew(probe_with_new_ap);
+  const auto e2 = without_new.EmbedNew(probe);
+  ASSERT_TRUE(e1.has_value());
+  ASSERT_TRUE(e2.has_value());
+  for (size_t k = 0; k < e1->size(); ++k) {
+    EXPECT_DOUBLE_EQ((*e1)[k], (*e2)[k]) << "dim " << k;
+  }
+}
+
+}  // namespace
+}  // namespace gem::embed

@@ -1,0 +1,150 @@
+#include "embed/bisage.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vec.h"
+#include "tests/embed/test_records.h"
+
+namespace gem::embed {
+namespace {
+
+using testing::MakeTwoClusters;
+using testing::SeparationRatio;
+
+BiSageConfig FastConfig() {
+  BiSageConfig config;
+  config.dimension = 16;
+  config.epochs = 3;
+  config.seed = 3;
+  return config;
+}
+
+TEST(BiSageTest, RejectsEmptyGraph) {
+  BiSage model(FastConfig());
+  graph::BipartiteGraph graph;
+  EXPECT_FALSE(model.Train(graph).ok());
+}
+
+TEST(BiSageTest, EmbeddingsAreUnitNorm) {
+  const auto data = MakeTwoClusters(15, 1);
+  BiSageEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    EXPECT_NEAR(math::Norm2(embedder.TrainEmbedding(i)), 1.0, 1e-9);
+  }
+}
+
+TEST(BiSageTest, TrainingReducesLoss) {
+  const auto data = MakeTwoClusters(15, 2);
+  graph::BipartiteGraph graph;
+  for (const auto& record : data.records) graph.AddRecord(record);
+
+  BiSageConfig one_epoch = FastConfig();
+  one_epoch.epochs = 1;
+  BiSage short_model(one_epoch);
+  ASSERT_TRUE(short_model.Train(graph).ok());
+
+  BiSageConfig many_epochs = FastConfig();
+  many_epochs.epochs = 8;
+  BiSage long_model(many_epochs);
+  ASSERT_TRUE(long_model.Train(graph).ok());
+
+  EXPECT_LT(long_model.last_epoch_loss(), short_model.last_epoch_loss());
+}
+
+TEST(BiSageTest, SeparatesClusters) {
+  const auto data = MakeTwoClusters(20, 3);
+  BiSageConfig config = FastConfig();
+  config.epochs = 6;
+  BiSageEmbedder embedder(config);
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+
+  std::vector<math::Vec> embeddings;
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    embeddings.push_back(embedder.TrainEmbedding(i));
+  }
+  EXPECT_LT(SeparationRatio(embeddings, data.per_cluster), 0.8);
+}
+
+TEST(BiSageTest, DeterministicEmbeddings) {
+  const auto data = MakeTwoClusters(10, 4);
+  BiSageEmbedder a(FastConfig());
+  BiSageEmbedder b(FastConfig());
+  ASSERT_TRUE(a.Fit(data.records).ok());
+  ASSERT_TRUE(b.Fit(data.records).ok());
+  for (int i = 0; i < a.num_train(); ++i) {
+    const math::Vec ea = a.TrainEmbedding(i);
+    const math::Vec eb = b.TrainEmbedding(i);
+    for (size_t k = 0; k < ea.size(); ++k) {
+      EXPECT_DOUBLE_EQ(ea[k], eb[k]);
+    }
+  }
+  // Repeated queries on the same model agree too.
+  const math::Vec e1 = a.TrainEmbedding(0);
+  const math::Vec e2 = a.TrainEmbedding(0);
+  for (size_t k = 0; k < e1.size(); ++k) EXPECT_DOUBLE_EQ(e1[k], e2[k]);
+}
+
+TEST(BiSageTest, InductiveEmbeddingLandsNearItsCluster) {
+  const auto data = MakeTwoClusters(20, 5);
+  BiSageConfig config = FastConfig();
+  config.epochs = 6;
+  BiSageEmbedder embedder(config);
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+
+  // A fresh record from cluster A (never seen in training).
+  math::Rng rng(99);
+  const rf::ScanRecord fresh = testing::NoisyRecord(
+      {"a0", "a1", "a2", "a3", "a4"}, {"s0"}, rng);
+  const auto embedding = embedder.EmbedNew(fresh);
+  ASSERT_TRUE(embedding.has_value());
+
+  double dist_a = 0.0;
+  double dist_b = 0.0;
+  for (int i = 0; i < data.per_cluster; ++i) {
+    dist_a += math::Distance(*embedding, embedder.TrainEmbedding(i));
+    dist_b += math::Distance(
+        *embedding, embedder.TrainEmbedding(data.per_cluster + i));
+  }
+  EXPECT_LT(dist_a, dist_b);
+}
+
+TEST(BiSageTest, UnknownMacsOnlyRecordIsUnembeddable) {
+  const auto data = MakeTwoClusters(10, 6);
+  BiSageEmbedder embedder(FastConfig());
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+
+  rf::ScanRecord alien;
+  alien.readings.push_back(rf::Reading{"never-seen-1", -60.0,
+                                       rf::Band::k2_4GHz});
+  alien.readings.push_back(rf::Reading{"never-seen-2", -70.0,
+                                       rf::Band::k2_4GHz});
+  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+
+  // Its MACs are now known (the record joined the graph), so a second
+  // record sharing them becomes embeddable.
+  rf::ScanRecord follower;
+  follower.readings.push_back(rf::Reading{"never-seen-1", -62.0,
+                                          rf::Band::k2_4GHz});
+  EXPECT_TRUE(embedder.EmbedNew(follower).has_value());
+}
+
+TEST(BiSageTest, AuxiliaryDiffersFromPrimary) {
+  const auto data = MakeTwoClusters(10, 7);
+  graph::BipartiteGraph graph;
+  for (const auto& record : data.records) graph.AddRecord(record);
+  BiSage model(FastConfig());
+  ASSERT_TRUE(model.Train(graph).ok());
+  const math::Vec h = model.PrimaryEmbedding(graph, 0);
+  const math::Vec l = model.AuxiliaryEmbedding(graph, 0);
+  EXPECT_GT(math::Distance(h, l), 1e-3);
+}
+
+TEST(BiSageTest, ConfigValidation) {
+  BiSageConfig config;
+  config.fanouts = {5};  // must match num_layers = 2
+  EXPECT_DEATH(BiSage model(config), "fanouts");
+}
+
+}  // namespace
+}  // namespace gem::embed

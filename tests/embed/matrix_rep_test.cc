@@ -1,0 +1,76 @@
+#include "embed/matrix_rep.h"
+
+#include <gtest/gtest.h>
+
+namespace gem::embed {
+namespace {
+
+rf::ScanRecord MakeRecord(std::vector<std::pair<std::string, double>> pairs) {
+  rf::ScanRecord record;
+  for (auto& [mac, rss] : pairs) {
+    record.readings.push_back(rf::Reading{mac, rss, rf::Band::k2_4GHz});
+  }
+  return record;
+}
+
+TEST(MacVocabularyTest, BuildFirstSeenOrder) {
+  MacVocabulary vocab;
+  vocab.Build({MakeRecord({{"a", -50}, {"b", -60}}),
+               MakeRecord({{"b", -55}, {"c", -65}})});
+  EXPECT_EQ(vocab.size(), 3);
+  EXPECT_EQ(vocab.IndexOf("a").value(), 0);
+  EXPECT_EQ(vocab.IndexOf("c").value(), 2);
+  EXPECT_FALSE(vocab.IndexOf("z").has_value());
+}
+
+TEST(MacVocabularyTest, ToDensePadsAndDrops) {
+  MacVocabulary vocab;
+  vocab.Build({MakeRecord({{"a", -50}, {"b", -60}})});
+  const math::Vec dense =
+      vocab.ToDense(MakeRecord({{"a", -45}, {"z", -30}}), -120.0);
+  ASSERT_EQ(dense.size(), 2u);
+  EXPECT_DOUBLE_EQ(dense[0], -45.0);   // known MAC keeps its RSS
+  EXPECT_DOUBLE_EQ(dense[1], -120.0);  // missing -> pad; "z" dropped
+}
+
+TEST(MacVocabularyTest, NormalizedInUnitRange) {
+  MacVocabulary vocab;
+  vocab.Build({MakeRecord({{"a", -50}, {"b", -60}})});
+  const math::Vec v =
+      vocab.ToDenseNormalized(MakeRecord({{"a", -20}, {"b", -120}}));
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(MacVocabularyTest, CountKnownMacs) {
+  MacVocabulary vocab;
+  vocab.Build({MakeRecord({{"a", -50}})});
+  EXPECT_EQ(vocab.CountKnownMacs(MakeRecord({{"a", -40}, {"z", -50}})), 1);
+  EXPECT_EQ(vocab.CountKnownMacs(MakeRecord({{"z", -50}})), 0);
+}
+
+TEST(RawVectorEmbedderTest, FitAndEmbed) {
+  RawVectorEmbedder embedder;
+  ASSERT_TRUE(embedder
+                  .Fit({MakeRecord({{"a", -50}, {"b", -60}}),
+                        MakeRecord({{"b", -55}, {"c", -65}})})
+                  .ok());
+  EXPECT_EQ(embedder.dimension(), 3);
+  EXPECT_EQ(embedder.num_train(), 2);
+  EXPECT_EQ(embedder.TrainEmbedding(0).size(), 3u);
+
+  const auto e = embedder.EmbedNew(MakeRecord({{"c", -40}}));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->size(), 3u);
+
+  EXPECT_FALSE(embedder.EmbedNew(MakeRecord({{"zz", -40}})).has_value());
+}
+
+TEST(RawVectorEmbedderTest, RejectsEmptyTraining) {
+  RawVectorEmbedder embedder;
+  EXPECT_FALSE(embedder.Fit({}).ok());
+  EXPECT_FALSE(embedder.Fit({rf::ScanRecord{}}).ok());
+}
+
+}  // namespace
+}  // namespace gem::embed

@@ -1,0 +1,77 @@
+#include "embed/mds.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vec.h"
+#include "tests/embed/test_records.h"
+
+namespace gem::embed {
+namespace {
+
+using testing::MakeTwoClusters;
+using testing::SeparationRatio;
+
+TEST(MdsTest, RejectsTinyTraining) {
+  MdsEmbedder embedder;
+  EXPECT_FALSE(embedder.Fit({}).ok());
+  EXPECT_FALSE(embedder.Fit({rf::ScanRecord{}}).ok());
+}
+
+TEST(MdsTest, EmbeddingDistancesApproximateInputDistances) {
+  // Classical MDS on exact Euclidean-embeddable data reproduces the
+  // configuration up to rotation; with cosine distances on clustered
+  // data the ordering of distances must be preserved.
+  const auto data = MakeTwoClusters(15, 1);
+  MdsConfig config;
+  config.components = 8;
+  MdsEmbedder embedder(config);
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+
+  std::vector<math::Vec> embeddings;
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    embeddings.push_back(embedder.TrainEmbedding(i));
+  }
+  EXPECT_LT(SeparationRatio(embeddings, data.per_cluster), 0.9);
+}
+
+TEST(MdsTest, ComponentCapRespected) {
+  const auto data = MakeTwoClusters(10, 2);
+  MdsConfig config;
+  config.components = 5;
+  MdsEmbedder embedder(config);
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  EXPECT_LE(embedder.dimension(), 5);
+  EXPECT_GT(embedder.dimension(), 0);
+}
+
+TEST(MdsTest, NystromProjectionConsistentWithTraining) {
+  // Re-embedding an exact copy of a training record must land close to
+  // that record's training embedding.
+  const auto data = MakeTwoClusters(15, 3);
+  MdsEmbedder embedder;
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+
+  const auto projected = embedder.EmbedNew(data.records[4]);
+  ASSERT_TRUE(projected.has_value());
+  const math::Vec original = embedder.TrainEmbedding(4);
+
+  double min_other = 1e18;
+  for (int i = 0; i < embedder.num_train(); ++i) {
+    if (i == 4) continue;
+    min_other = std::min(
+        min_other, math::Distance(*projected, embedder.TrainEmbedding(i)));
+  }
+  EXPECT_LT(math::Distance(*projected, original), min_other + 1e-9);
+}
+
+TEST(MdsTest, UnknownOnlyRecordUnembeddable) {
+  const auto data = MakeTwoClusters(10, 4);
+  MdsEmbedder embedder;
+  ASSERT_TRUE(embedder.Fit(data.records).ok());
+  rf::ScanRecord alien;
+  alien.readings.push_back(rf::Reading{"xyz", -60.0, rf::Band::k2_4GHz});
+  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+}
+
+}  // namespace
+}  // namespace gem::embed

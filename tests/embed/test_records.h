@@ -1,0 +1,87 @@
+#ifndef GEM_TESTS_EMBED_TEST_RECORDS_H_
+#define GEM_TESTS_EMBED_TEST_RECORDS_H_
+
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "rf/types.h"
+
+namespace gem::embed::testing {
+
+/// Two synthetic "rooms": room A records sense MACs a0..a4 strongly and
+/// a couple of shared MACs weakly; room B symmetrical with b0..b4. A
+/// good embedder separates the two clusters.
+struct TwoClusterData {
+  std::vector<rf::ScanRecord> records;  // first half A, second half B
+  int per_cluster;
+};
+
+inline rf::ScanRecord NoisyRecord(const std::vector<std::string>& strong,
+                                  const std::vector<std::string>& weak,
+                                  gem::math::Rng& rng) {
+  rf::ScanRecord record;
+  for (const std::string& mac : strong) {
+    if (rng.Bernoulli(0.9)) {
+      record.readings.push_back(
+          rf::Reading{mac, rng.Normal(-50.0, 3.0), rf::Band::k2_4GHz});
+    }
+  }
+  for (const std::string& mac : weak) {
+    if (rng.Bernoulli(0.5)) {
+      record.readings.push_back(
+          rf::Reading{mac, rng.Normal(-85.0, 3.0), rf::Band::k2_4GHz});
+    }
+  }
+  return record;
+}
+
+inline TwoClusterData MakeTwoClusters(int per_cluster, uint64_t seed) {
+  gem::math::Rng rng(seed);
+  std::vector<std::string> a{"a0", "a1", "a2", "a3", "a4"};
+  std::vector<std::string> b{"b0", "b1", "b2", "b3", "b4"};
+  std::vector<std::string> shared{"s0", "s1"};
+
+  TwoClusterData data;
+  data.per_cluster = per_cluster;
+  std::vector<std::string> a_weak = shared;
+  a_weak.push_back("b0");  // faint cross-talk keeps the graph connected
+  std::vector<std::string> b_weak = shared;
+  b_weak.push_back("a0");
+  for (int i = 0; i < per_cluster; ++i) {
+    data.records.push_back(NoisyRecord(a, a_weak, rng));
+  }
+  for (int i = 0; i < per_cluster; ++i) {
+    data.records.push_back(NoisyRecord(b, b_weak, rng));
+  }
+  return data;
+}
+
+/// Mean intra-cluster vs inter-cluster embedding distance ratio;
+/// smaller is better separation.
+inline double SeparationRatio(const std::vector<gem::math::Vec>& embeddings,
+                              int per_cluster) {
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  const int n = static_cast<int>(embeddings.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool same = (i < per_cluster) == (j < per_cluster);
+      const double d = gem::math::Distance(embeddings[i], embeddings[j]);
+      if (same) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  return (intra / n_intra) / (inter / n_inter + 1e-12);
+}
+
+}  // namespace gem::embed::testing
+
+#endif  // GEM_TESTS_EMBED_TEST_RECORDS_H_

@@ -1,0 +1,65 @@
+#include "graph/edge_weight.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gem::graph {
+namespace {
+
+TEST(EdgeWeightTest, LinearOffsetMatchesPaper) {
+  EdgeWeightConfig config;  // c = 120
+  EXPECT_DOUBLE_EQ(EdgeWeight(-60.0, config), 60.0);
+  EXPECT_DOUBLE_EQ(EdgeWeight(-90.0, config), 30.0);
+}
+
+TEST(EdgeWeightTest, AlwaysPositive) {
+  for (const WeightKind kind :
+       {WeightKind::kLinearOffset, WeightKind::kExponential,
+        WeightKind::kBinary, WeightKind::kSquaredOffset}) {
+    EdgeWeightConfig config;
+    config.kind = kind;
+    for (double rss = -130.0; rss <= -20.0; rss += 5.0) {
+      EXPECT_GT(EdgeWeight(rss, config), 0.0)
+          << "kind " << static_cast<int>(kind) << " rss " << rss;
+    }
+  }
+}
+
+TEST(EdgeWeightTest, MonotoneInRss) {
+  for (const WeightKind kind :
+       {WeightKind::kLinearOffset, WeightKind::kExponential,
+        WeightKind::kSquaredOffset}) {
+    EdgeWeightConfig config;
+    config.kind = kind;
+    double prev = 0.0;
+    for (double rss = -110.0; rss <= -20.0; rss += 5.0) {
+      const double w = EdgeWeight(rss, config);
+      EXPECT_GE(w, prev);
+      prev = w;
+    }
+  }
+}
+
+TEST(EdgeWeightTest, BinaryIgnoresRss) {
+  EdgeWeightConfig config;
+  config.kind = WeightKind::kBinary;
+  EXPECT_DOUBLE_EQ(EdgeWeight(-30.0, config), EdgeWeight(-90.0, config));
+}
+
+TEST(EdgeWeightTest, ExponentialScale) {
+  EdgeWeightConfig config;
+  config.kind = WeightKind::kExponential;
+  config.exp_scale = 20.0;
+  EXPECT_NEAR(EdgeWeight(-40.0, config) / EdgeWeight(-60.0, config),
+              std::exp(1.0), 1e-9);
+}
+
+TEST(EdgeWeightTest, SquaredOffset) {
+  EdgeWeightConfig config;
+  config.kind = WeightKind::kSquaredOffset;
+  EXPECT_DOUBLE_EQ(EdgeWeight(-60.0, config), 3600.0);
+}
+
+}  // namespace
+}  // namespace gem::graph

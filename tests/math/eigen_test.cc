@@ -1,0 +1,90 @@
+#include "math/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+
+namespace gem::math {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3, 0.0);
+  a.At(0, 0) = 3.0;
+  a.At(1, 1) = 1.0;
+  a.At(2, 2) = 2.0;
+  auto result = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(result.ok());
+  const auto& eig = result.value();
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 2;
+  auto result = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().values[0], 3.0, 1e-10);
+  EXPECT_NEAR(result.value().values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, NonSquareRejected) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetric) {
+  Rng rng(5);
+  const int n = 8;
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.Uniform(-1, 1);
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  auto result = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(result.ok());
+  const auto& eig = result.value();
+
+  // Check A v_i = lambda_i v_i and orthonormality.
+  for (int i = 0; i < n; ++i) {
+    const Vec v = eig.vectors.Row(i);
+    EXPECT_NEAR(Norm2(v), 1.0, 1e-8);
+    const Vec av = a.MatVec(v);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_NEAR(av[k], eig.values[i] * v[k], 1e-7);
+    }
+    for (int j = i + 1; j < n; ++j) {
+      EXPECT_NEAR(Dot(v, eig.vectors.Row(j)), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, TraceEqualsEigenvalueSum) {
+  Rng rng(9);
+  const int n = 6;
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.Uniform(-2, 2);
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+    trace += a.At(i, i);
+  }
+  auto result = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (double lambda : result.value().values) sum += lambda;
+  EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+}  // namespace
+}  // namespace gem::math

@@ -1,0 +1,96 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+
+namespace gem::math {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(MatrixTest, RowRoundTrip) {
+  Matrix m(2, 2);
+  m.SetRow(0, {1, 2});
+  m.SetRow(1, {3, 4});
+  EXPECT_EQ(m.Row(1), (Vec{3, 4}));
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1, 0, 2});
+  m.SetRow(1, {0, 1, -1});
+  const Vec y = m.MatVec({1, 2, 3});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(MatrixTest, MatTVec) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1, 0, 2});
+  m.SetRow(1, {0, 1, -1});
+  const Vec y = m.MatTVec({2, 3});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
+TEST(MatrixTest, AddOuter) {
+  Matrix m(2, 2, 0.0);
+  m.AddOuter({1, 2}, {3, 4}, 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 16.0);
+}
+
+TEST(MatrixTest, AppendRowGrows) {
+  Matrix m;
+  m.AppendRow({1, 2, 3});
+  m.AppendRow({4, 5, 6});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 4.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a(2, 3);
+  a.SetRow(0, {1, 2, 3});
+  a.SetRow(1, {4, 5, 6});
+  Matrix b(3, 2);
+  b.SetRow(0, {7, 8});
+  b.SetRow(1, {9, 10});
+  b.SetRow(2, {11, 12});
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, FillGlorotWithinBounds) {
+  Rng rng(1);
+  Matrix m(8, 8);
+  m.FillGlorot(rng);
+  const double bound = std::sqrt(6.0 / 16.0);
+  bool any_nonzero = false;
+  for (double x : m.data()) {
+    EXPECT_LE(std::abs(x), bound);
+    if (x != 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace gem::math

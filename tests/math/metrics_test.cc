@@ -1,0 +1,100 @@
+#include "math/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gem::math {
+namespace {
+
+TEST(ConfusionCountsTest, PerfectClassifier) {
+  ConfusionCounts c;
+  c.Add(true, true);
+  c.Add(false, false);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.0);
+}
+
+TEST(ConfusionCountsTest, KnownCounts) {
+  ConfusionCounts c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 2;
+  c.tn = 8;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.8);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.8);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.2);
+}
+
+TEST(ConfusionCountsTest, EmptyDenominatorsReturnZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(InOutMetricsTest, TwoOrientationsAreDuals) {
+  // actual:    in, in, out, out
+  // predicted: in, out, out, in
+  const std::vector<bool> actual{true, true, false, false};
+  const std::vector<bool> pred{true, false, false, true};
+  const InOutMetrics m = ComputeInOutMetrics(actual, pred);
+  EXPECT_DOUBLE_EQ(m.precision_in, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall_in, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision_out, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall_out, 0.5);
+}
+
+TEST(InOutMetricsTest, AllCorrect) {
+  const std::vector<bool> actual{true, false, true};
+  const InOutMetrics m = ComputeInOutMetrics(actual, actual);
+  EXPECT_DOUBLE_EQ(m.f_in, 1.0);
+  EXPECT_DOUBLE_EQ(m.f_out, 1.0);
+}
+
+TEST(RocTest, PerfectSeparationAucOne) {
+  const Vec scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> pos{true, true, false, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, pos), 1.0);
+}
+
+TEST(RocTest, ReversedSeparationAucZero) {
+  const Vec scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> pos{true, true, false, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, pos), 0.0);
+}
+
+TEST(RocTest, RandomScoresAucHalfWithTies) {
+  const Vec scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> pos{true, false, true, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, pos), 0.5);
+}
+
+TEST(RocTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {true, true}), 0.5);
+}
+
+TEST(RocTest, CurveEndpoints) {
+  const Vec scores{0.9, 0.7, 0.4, 0.2};
+  const std::vector<bool> pos{true, false, true, false};
+  const auto curve = RocCurve(scores, pos);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+}
+
+TEST(RocTest, CurveMonotone) {
+  const Vec scores{0.9, 0.8, 0.75, 0.7, 0.4, 0.35, 0.2};
+  const std::vector<bool> pos{true, false, true, true, false, true, false};
+  const auto curve = RocCurve(scores, pos);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+  }
+}
+
+}  // namespace
+}  // namespace gem::math

@@ -1,0 +1,78 @@
+#include "math/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "math/autograd.h"
+#include "math/rng.h"
+
+namespace gem::math {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize 0.5*||Wx - t||^2 over W for fixed x; optimum is exact when
+  // W x == t is achievable.
+  Parameter w(2, 2);
+  Rng rng(3);
+  w.value.FillUniform(rng, 0.5);
+  AdamOptions opts;
+  opts.learning_rate = 0.05;
+  Adam adam(opts);
+  adam.Register(&w);
+
+  const Vec x{1.0, -0.5};
+  const Vec target{0.3, 0.7};
+  double last_loss = 1e9;
+  for (int i = 0; i < 500; ++i) {
+    Tape tape;
+    const VarId xi = tape.Leaf(x);
+    tape.AddMseLoss(tape.MatVec(&w, xi), target);
+    last_loss = tape.loss();
+    tape.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 1e-6);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Parameter w(1, 1);
+  w.grad.At(0, 0) = 5.0;
+  Adam adam;
+  adam.Register(&w);
+  adam.Step();
+  EXPECT_DOUBLE_EQ(w.grad.At(0, 0), 0.0);
+}
+
+TEST(RowAdamTest, UpdatesOnlyTargetRow) {
+  Matrix table(3, 2, 1.0);
+  RowAdam adam(3, 2);
+  adam.Update(table, 1, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(table.At(0, 0), 1.0);
+  EXPECT_NE(table.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.At(2, 1), 1.0);
+}
+
+TEST(RowAdamTest, ConvergesRowToTarget) {
+  // Gradient of 0.5*||row - t||^2 is (row - t).
+  Matrix table(1, 3, 0.0);
+  AdamOptions opts;
+  opts.learning_rate = 0.05;
+  RowAdam adam(1, 3, opts);
+  const Vec target{0.2, -0.4, 0.9};
+  for (int i = 0; i < 1000; ++i) {
+    Vec g(3);
+    for (int k = 0; k < 3; ++k) g[k] = table.At(0, k) - target[k];
+    adam.Update(table, 0, g);
+  }
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(table.At(0, k), target[k], 1e-3);
+}
+
+TEST(RowAdamTest, ResizeExtends) {
+  RowAdam adam(2, 4);
+  adam.Resize(5);
+  EXPECT_EQ(adam.rows(), 5);
+  Matrix table(5, 4, 0.0);
+  adam.Update(table, 4, {1, 1, 1, 1});  // must not crash
+}
+
+}  // namespace
+}  // namespace gem::math

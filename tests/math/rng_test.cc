@@ -1,0 +1,112 @@
+#include "math/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gem::math {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformUnitInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformUnitMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformUnit();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversSupport) {
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformIntRange(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalMeanStd) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(-80.0, 5.0);
+  EXPECT_NEAR(sum / n, -80.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(RngTest, SplitIsIndependentButDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng child_a = a.Split();
+  Rng child_b = b.Split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child_a.Next(), child_b.Next());
+}
+
+}  // namespace
+}  // namespace gem::math

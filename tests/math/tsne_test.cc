@@ -1,0 +1,86 @@
+#include "math/tsne.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "math/vec.h"
+
+namespace gem::math {
+namespace {
+
+TEST(TsneTest, RejectsTinyInput) {
+  EXPECT_FALSE(Tsne(Matrix(2, 4)).ok());
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(1);
+  Matrix points(30, 8);
+  points.FillUniform(rng, 1.0);
+  TsneOptions opts;
+  opts.iterations = 50;
+  auto result = Tsne(points, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows(), 30);
+  EXPECT_EQ(result.value().cols(), 2);
+}
+
+TEST(TsneTest, SeparatesTwoGaussianClusters) {
+  Rng rng(2);
+  const int per_cluster = 25;
+  Matrix points(2 * per_cluster, 5);
+  for (int i = 0; i < per_cluster; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      points.At(i, k) = rng.Normal(0.0, 0.1);
+      points.At(per_cluster + i, k) = rng.Normal(5.0, 0.1);
+    }
+  }
+  TsneOptions opts;
+  opts.iterations = 300;
+  opts.perplexity = 10.0;
+  auto result = Tsne(points, opts);
+  ASSERT_TRUE(result.ok());
+  const Matrix& y = result.value();
+
+  // Mean intra-cluster distance must be far below inter-cluster distance.
+  auto dist = [&](int a, int b) {
+    return Distance(y.Row(a), y.Row(b));
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  for (int i = 0; i < 2 * per_cluster; ++i) {
+    for (int j = i + 1; j < 2 * per_cluster; ++j) {
+      const bool same = (i < per_cluster) == (j < per_cluster);
+      if (same) {
+        intra += dist(i, j);
+        ++n_intra;
+      } else {
+        inter += dist(i, j);
+        ++n_inter;
+      }
+    }
+  }
+  intra /= n_intra;
+  inter /= n_inter;
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Rng rng(3);
+  Matrix points(20, 4);
+  points.FillUniform(rng, 1.0);
+  TsneOptions opts;
+  opts.iterations = 30;
+  auto a = Tsne(points, opts);
+  auto b = Tsne(points, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.value().At(i, 0), b.value().At(i, 0));
+    EXPECT_DOUBLE_EQ(a.value().At(i, 1), b.value().At(i, 1));
+  }
+}
+
+}  // namespace
+}  // namespace gem::math

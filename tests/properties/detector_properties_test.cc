@@ -1,0 +1,94 @@
+// Parameterized property sweeps over the outlier detectors: every
+// detector must satisfy the same behavioral contract on synthetic
+// data, across dimensions and training sizes.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "detect/feature_bagging.h"
+#include "detect/hbos.h"
+#include "detect/iforest.h"
+#include "detect/lof.h"
+#include "detect/svdd.h"
+#include "tests/detect/test_blobs.h"
+
+namespace gem::detect {
+namespace {
+
+using testing::BimodalNormal;
+using testing::FarOutliers;
+using testing::FreshInliers;
+
+using DetectorFactory = std::function<std::unique_ptr<OutlierDetector>()>;
+
+struct DetectorCase {
+  const char* name;
+  DetectorFactory make;
+};
+
+class DetectorContract
+    : public ::testing::TestWithParam<std::tuple<DetectorCase, int, int>> {};
+
+TEST_P(DetectorContract, SeparatesOutliersAtEveryDimAndSize) {
+  const auto& [detector_case, dim, n_train] = GetParam();
+  auto detector = detector_case.make();
+  const auto train = BimodalNormal(n_train, dim, 7);
+  ASSERT_TRUE(detector->Fit(train).ok()) << detector_case.name;
+
+  // Contract 1: far outliers are flagged (nearly) always.
+  int flagged = 0;
+  const auto outliers = FarOutliers(40, dim, 7);
+  for (const auto& x : outliers) flagged += detector->IsOutlier(x) ? 1 : 0;
+  EXPECT_GE(flagged, 36) << detector_case.name;
+
+  // Contract 2: fresh inliers are mostly accepted.
+  int false_alarms = 0;
+  const auto inliers = FreshInliers(80, dim, 7);
+  for (const auto& x : inliers) {
+    false_alarms += detector->IsOutlier(x) ? 1 : 0;
+  }
+  EXPECT_LE(false_alarms, 40) << detector_case.name;
+
+  // Contract 3: scores rank — mean outlier score above mean inlier
+  // score.
+  double s_out = 0.0;
+  double s_in = 0.0;
+  for (const auto& x : outliers) s_out += detector->Score(x);
+  for (const auto& x : inliers) s_in += detector->Score(x);
+  EXPECT_GT(s_out / outliers.size(), s_in / inliers.size())
+      << detector_case.name;
+
+  // Contract 4: scores are finite.
+  for (const auto& x : outliers) {
+    EXPECT_TRUE(std::isfinite(detector->Score(x))) << detector_case.name;
+  }
+}
+
+std::vector<DetectorCase> AllDetectors() {
+  return {
+      {"enhanced_hbos",
+       [] { return std::make_unique<EnhancedHbosDetector>(); }},
+      {"plain_hbos", [] { return std::make_unique<HbosDetector>(); }},
+      {"iforest", [] { return std::make_unique<IsolationForest>(); }},
+      {"lof", [] { return std::make_unique<LofDetector>(); }},
+      {"feature_bagging", [] { return std::make_unique<FeatureBagging>(); }},
+      {"svdd", [] { return std::make_unique<SvddDetector>(); }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectorsDimsSizes, DetectorContract,
+    ::testing::Combine(::testing::ValuesIn(AllDetectors()),
+                       ::testing::Values(4, 16),
+                       ::testing::Values(80, 250)),
+    [](const ::testing::TestParamInfo<DetectorContract::ParamType>& info) {
+      return std::string(std::get<0>(info.param).name) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace gem::detect

@@ -1,0 +1,77 @@
+// Contract test across every geofencing system in the evaluation:
+// each must train on a small in-premises set, classify every streamed
+// record (totality), treat degenerate records as outside, and produce
+// finite scores.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/systems.h"
+#include "rf/dataset.h"
+
+namespace gem::eval {
+namespace {
+
+rf::Dataset TinyDataset() {
+  rf::DatasetOptions options;
+  options.train_duration_s = 200.0;
+  options.test_segments = 2;
+  options.test_segment_duration_s = 60.0;
+  options.seed = 33;
+  return rf::GenerateScenarioDataset(rf::HomePreset(2), options);
+}
+
+class GeofenceContract : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(GeofenceContract, TrainsClassifiesAndHandlesDegenerates) {
+  const rf::Dataset data = TinyDataset();
+  auto system = MakeSystem(GetParam(), 33);
+  ASSERT_TRUE(system->Train(data.train).ok()) << system->name();
+
+  int inside = 0;
+  int outside = 0;
+  for (const rf::ScanRecord& record : data.test) {
+    const core::InferenceResult result = system->Infer(record);
+    EXPECT_TRUE(std::isfinite(result.score)) << system->name();
+    (result.decision == core::Decision::kInside ? inside : outside)++;
+  }
+  // Non-degenerate behavior: both classes are predicted on a stream
+  // that is roughly half inside, half outside.
+  EXPECT_GT(inside, 0) << system->name();
+  EXPECT_GT(outside, 0) << system->name();
+
+  // A record of only never-before-seen MACs is outside for every
+  // system (nothing ties it to the premises).
+  rf::ScanRecord alien;
+  alien.readings.push_back(
+      rf::Reading{"ff:ff:ff:00:00:01", -60.0, rf::Band::k2_4GHz});
+  alien.readings.push_back(
+      rf::Reading{"ff:ff:ff:00:00:02", -65.0, rf::Band::k5GHz});
+  EXPECT_EQ(system->Infer(alien).decision, core::Decision::kOutside)
+      << system->name();
+
+  // An empty record carries no evidence of being inside.
+  EXPECT_EQ(system->Infer(rf::ScanRecord{}).decision,
+            core::Decision::kOutside)
+      << system->name();
+}
+
+TEST_P(GeofenceContract, RetrainOnEmptyFails) {
+  auto system = MakeSystem(GetParam(), 33);
+  EXPECT_FALSE(system->Train({}).ok()) << system->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, GeofenceContract,
+    ::testing::ValuesIn(TableOneAlgorithms()),
+    [](const ::testing::TestParamInfo<AlgorithmId>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace gem::eval

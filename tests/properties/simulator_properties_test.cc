@@ -1,0 +1,132 @@
+// Parameterized property sweeps over the RF simulator: physical
+// invariants that must hold for every scenario preset.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rf/dataset.h"
+#include "rf/dynamics.h"
+
+namespace gem::rf {
+namespace {
+
+class ScenarioProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioProperties, EnvironmentIsWellFormed) {
+  const ScenarioConfig config = HomePreset(GetParam());
+  const Environment env = BuildEnvironment(config);
+  EXPECT_GT(env.fence_width(), 0.0);
+  EXPECT_GT(env.fence_height(), 0.0);
+  EXPECT_FALSE(env.access_points().empty());
+  EXPECT_GE(static_cast<int>(env.walls().size()), 4 * config.floors);
+
+  // Every AP has a unique, non-empty MAC.
+  std::set<std::string> macs;
+  for (const AccessPoint& ap : env.access_points()) {
+    EXPECT_FALSE(ap.mac.empty());
+    EXPECT_TRUE(macs.insert(ap.mac).second) << "duplicate " << ap.mac;
+  }
+}
+
+TEST_P(ScenarioProperties, BoundaryContrastExists) {
+  // Crossing the boundary must cost signal: mean RSS of the strongest
+  // inside AP drops when measured just outside.
+  const ScenarioConfig config = HomePreset(GetParam());
+  const Environment env = BuildEnvironment(config);
+  PropagationConfig prop;
+  prop.noise_sigma_db = 0.0;
+  prop.shadowing_sigma_db = 0.0;
+  prop.drift_amplitude_db = 0.0;
+  prop.common_drift_amplitude_db = 0.0;
+  const PropagationModel model(&env, prop);
+
+  const Point inside{env.fence_width() / 2.0, env.fence_height() / 2.0};
+  const Point outside{env.fence_width() / 2.0, env.fence_height() + 1.0};
+  // Strongest inside AP, measured at the center.
+  const AccessPoint* best = nullptr;
+  double best_rss = -1e9;
+  for (const AccessPoint& ap : env.access_points()) {
+    if (!env.InsideFence(ap.position) || ap.floor != 0) continue;
+    const double rss = model.MeanRssDbm(ap, inside, 0);
+    if (rss > best_rss) {
+      best_rss = rss;
+      best = &ap;
+    }
+  }
+  if (best == nullptr) GTEST_SKIP() << "no ground-floor inside AP";
+  EXPECT_LT(model.MeanRssDbm(*best, outside, 0), best_rss);
+}
+
+TEST_P(ScenarioProperties, DatasetLabelsMatchGeometry) {
+  rf::DatasetOptions options;
+  options.train_duration_s = 120.0;
+  options.test_segments = 2;
+  options.test_segment_duration_s = 60.0;
+  options.seed = 40 + static_cast<uint64_t>(GetParam());
+  const Dataset data =
+      GenerateScenarioDataset(HomePreset(GetParam()), options);
+  const Environment env = BuildEnvironment(HomePreset(GetParam()));
+  for (const ScanRecord& record : data.train) {
+    EXPECT_TRUE(record.inside);
+    EXPECT_TRUE(env.InsideFence(record.position));
+  }
+  for (const ScanRecord& record : data.test) {
+    EXPECT_EQ(record.inside, env.InsideFence(record.position));
+  }
+}
+
+TEST_P(ScenarioProperties, RecordsVaryInLength) {
+  rf::DatasetOptions options;
+  options.train_duration_s = 200.0;
+  options.seed = 60 + static_cast<uint64_t>(GetParam());
+  const Dataset data =
+      GenerateScenarioDataset(HomePreset(GetParam()), options);
+  std::set<size_t> lengths;
+  for (const ScanRecord& record : data.train) {
+    lengths.insert(record.readings.size());
+  }
+  EXPECT_GT(lengths.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHomes, ScenarioProperties,
+                         ::testing::Range(0, 10));
+
+// Markov dynamics property: at any (p, q), the surviving readings are
+// a subset of the originals and blocks stay internally consistent.
+class MarkovProperties
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MarkovProperties, ChurnOnlyRemovesReadings) {
+  const auto [p, q] = GetParam();
+  rf::DatasetOptions options;
+  options.train_duration_s = 200.0;
+  options.seed = 77;
+  Dataset data = GenerateScenarioDataset(HomePreset(2), options);
+  const std::vector<ScanRecord> before = data.train;
+  math::Rng rng(3);
+  ApplyApOnOffDynamics(data.train, p, q, 30, rng);
+  ASSERT_EQ(data.train.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_LE(data.train[i].readings.size(), before[i].readings.size());
+    // Surviving readings are unchanged (same mac -> same rss).
+    for (const Reading& kept : data.train[i].readings) {
+      bool found = false;
+      for (const Reading& orig : before[i].readings) {
+        if (orig.mac == kept.mac && orig.rss_dbm == kept.rss_dbm) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << kept.mac;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MarkovProperties,
+    ::testing::Values(std::pair{0.1, 0.1}, std::pair{0.5, 0.5},
+                      std::pair{0.9, 0.1}, std::pair{0.1, 0.9}));
+
+}  // namespace
+}  // namespace gem::rf

@@ -1,0 +1,89 @@
+#include "rf/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "rf/dynamics.h"
+
+namespace gem::rf {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions options;
+  options.train_duration_s = 120.0;
+  options.test_segments = 4;
+  options.test_segment_duration_s = 60.0;
+  options.seed = 11;
+  return options;
+}
+
+TEST(ScenarioTest, PresetsMatchPaperShape) {
+  // Areas follow Table II: two ~10 m^2, three ~50, four ~100, one ~200.
+  const double expected_area[] = {10, 10, 50, 50, 50, 100, 100, 100, 100, 200};
+  for (int u = 0; u < 10; ++u) {
+    const ScenarioConfig c = HomePreset(u);
+    const double area = c.width_m * c.height_m * c.floors;
+    EXPECT_GT(area, expected_area[u] * 0.5) << "user " << u;
+    EXPECT_LT(area, expected_area[u] * 2.1) << "user " << u;
+  }
+  EXPECT_EQ(HomePreset(9).floors, 2);
+}
+
+TEST(ScenarioTest, MacCountsVaryAcrossUsers) {
+  const Environment dense = BuildEnvironment(HomePreset(7));   // 73 MACs
+  const Environment sparse = BuildEnvironment(HomePreset(9));  // 12 MACs
+  EXPECT_GT(TotalMacs(dense), 2 * TotalMacs(sparse));
+}
+
+TEST(DatasetTest, TrainIsAllInside) {
+  const Dataset data = GenerateScenarioDataset(HomePreset(2), SmallOptions());
+  ASSERT_FALSE(data.train.empty());
+  for (const ScanRecord& record : data.train) {
+    EXPECT_TRUE(record.inside);
+  }
+}
+
+TEST(DatasetTest, TestHasBothClasses) {
+  const Dataset data = GenerateScenarioDataset(HomePreset(2), SmallOptions());
+  int inside = 0;
+  int outside = 0;
+  for (const ScanRecord& record : data.test) {
+    (record.inside ? inside : outside)++;
+  }
+  EXPECT_GT(inside, 10);
+  EXPECT_GT(outside, 10);
+}
+
+TEST(DatasetTest, TestStreamIsTimeOrdered) {
+  const Dataset data = GenerateScenarioDataset(HomePreset(2), SmallOptions());
+  for (size_t i = 1; i < data.test.size(); ++i) {
+    EXPECT_GE(data.test[i].timestamp_s, data.test[i - 1].timestamp_s);
+  }
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  const Dataset a = GenerateScenarioDataset(HomePreset(1), SmallOptions());
+  const Dataset b = GenerateScenarioDataset(HomePreset(1), SmallOptions());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  ASSERT_EQ(a.test.size(), b.test.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(a.train[i].readings.size(), b.train[i].readings.size());
+    for (size_t j = 0; j < a.train[i].readings.size(); ++j) {
+      EXPECT_EQ(a.train[i].readings[j].mac, b.train[i].readings[j].mac);
+      EXPECT_DOUBLE_EQ(a.train[i].readings[j].rss_dbm,
+                       b.train[i].readings[j].rss_dbm);
+    }
+  }
+}
+
+TEST(DatasetTest, RecordsAreNonTrivial) {
+  const Dataset data = GenerateScenarioDataset(HomePreset(5), SmallOptions());
+  double mean_len = 0.0;
+  for (const ScanRecord& record : data.train) {
+    mean_len += static_cast<double>(record.readings.size());
+  }
+  mean_len /= static_cast<double>(data.train.size());
+  EXPECT_GT(mean_len, 5.0);
+}
+
+}  // namespace
+}  // namespace gem::rf

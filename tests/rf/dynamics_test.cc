@@ -1,0 +1,118 @@
+#include "rf/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gem::rf {
+namespace {
+
+std::vector<ScanRecord> MakeRecords(int count, int macs_per_record) {
+  std::vector<ScanRecord> records(count);
+  for (int i = 0; i < count; ++i) {
+    records[i].timestamp_s = i;
+    for (int m = 0; m < macs_per_record; ++m) {
+      Reading r;
+      r.mac = "mac" + std::to_string(m);
+      r.rss_dbm = -60.0 - m;
+      r.band = m % 2 == 0 ? Band::k2_4GHz : Band::k5GHz;
+      records[i].readings.push_back(r);
+    }
+  }
+  return records;
+}
+
+TEST(CollectMacsTest, FirstSeenOrderDeduplicated) {
+  auto records = MakeRecords(5, 3);
+  const auto macs = CollectMacs(records);
+  ASSERT_EQ(macs.size(), 3u);
+  EXPECT_EQ(macs[0], "mac0");
+  EXPECT_EQ(macs[2], "mac2");
+}
+
+TEST(RemoveMacsTest, RemovesOnlyListed) {
+  auto records = MakeRecords(4, 3);
+  RemoveMacs(records, {"mac1"});
+  for (const ScanRecord& record : records) {
+    EXPECT_EQ(record.readings.size(), 2u);
+    for (const Reading& r : record.readings) EXPECT_NE(r.mac, "mac1");
+  }
+}
+
+TEST(SampleMacSubsetTest, FractionRounding) {
+  auto records = MakeRecords(2, 10);
+  math::Rng rng(1);
+  EXPECT_EQ(SampleMacSubset(records, 0.25, rng).size(), 3u);  // ceil(2.5)
+  EXPECT_EQ(SampleMacSubset(records, 0.0, rng).size(), 0u);
+  EXPECT_EQ(SampleMacSubset(records, 1.0, rng).size(), 10u);
+}
+
+TEST(SampleMacSubsetTest, SubsetIsDistinct) {
+  auto records = MakeRecords(2, 20);
+  math::Rng rng(2);
+  const auto subset = SampleMacSubset(records, 0.5, rng);
+  const std::set<std::string> unique(subset.begin(), subset.end());
+  EXPECT_EQ(unique.size(), subset.size());
+}
+
+TEST(ApOnOffTest, ZeroPKeepsEverything) {
+  auto records = MakeRecords(90, 4);
+  math::Rng rng(3);
+  ApplyApOnOffDynamics(records, 0.0, 0.5, 30, rng);
+  for (const ScanRecord& record : records) {
+    EXPECT_EQ(record.readings.size(), 4u);
+  }
+}
+
+TEST(ApOnOffTest, POneQZeroDropsAllAfterFirstBlock) {
+  auto records = MakeRecords(90, 4);
+  math::Rng rng(4);
+  ApplyApOnOffDynamics(records, 1.0, 0.0, 30, rng);
+  // First block: everything ON.
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(records[i].readings.size(), 4u);
+  // After the first boundary all MACs are OFF forever (q = 0).
+  for (int i = 30; i < 90; ++i) EXPECT_TRUE(records[i].readings.empty());
+}
+
+TEST(ApOnOffTest, StatesConstantWithinBlock) {
+  auto records = MakeRecords(120, 6);
+  math::Rng rng(5);
+  ApplyApOnOffDynamics(records, 0.5, 0.5, 30, rng);
+  for (int block = 0; block < 4; ++block) {
+    std::set<std::string> first;
+    for (const Reading& r : records[block * 30].readings) first.insert(r.mac);
+    for (int i = block * 30; i < (block + 1) * 30; ++i) {
+      std::set<std::string> macs;
+      for (const Reading& r : records[i].readings) macs.insert(r.mac);
+      EXPECT_EQ(macs, first) << "record " << i;
+    }
+  }
+}
+
+TEST(ApOnOffTest, LongRunOnFractionMatchesStationary) {
+  // Stationary P(ON) of the chain is q / (p + q).
+  const double p = 0.3;
+  const double q = 0.6;
+  auto records = MakeRecords(30 * 400, 1);
+  math::Rng rng(6);
+  ApplyApOnOffDynamics(records, p, q, 30, rng);
+  int on_blocks = 0;
+  for (int b = 0; b < 400; ++b) {
+    if (!records[b * 30].readings.empty()) ++on_blocks;
+  }
+  EXPECT_NEAR(on_blocks / 400.0, q / (p + q), 0.08);
+}
+
+TEST(FilterBandTest, KeepsOnlyRequestedBand) {
+  auto records = MakeRecords(3, 4);
+  FilterBand(records, Band::k5GHz);
+  for (const ScanRecord& record : records) {
+    EXPECT_EQ(record.readings.size(), 2u);
+    for (const Reading& r : record.readings) {
+      EXPECT_EQ(r.band, Band::k5GHz);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gem::rf

@@ -1,0 +1,83 @@
+#include "rf/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace gem::rf {
+namespace {
+
+TEST(SegmentsIntersectTest, CrossingSegments) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, ParallelSegments) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {2, 0}, {0, 1}, {2, 1}));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 1}, {3, 1}));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpointsDoNotCount) {
+  // Skimming a wall endpoint is not a crossing.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(EnvironmentTest, InsideFence) {
+  Environment env;
+  env.SetFence(10.0, 5.0);
+  EXPECT_TRUE(env.InsideFence({5, 2.5}));
+  EXPECT_TRUE(env.InsideFence({0, 0}));
+  EXPECT_FALSE(env.InsideFence({10.1, 2}));
+  EXPECT_FALSE(env.InsideFence({-0.1, 2}));
+  EXPECT_FALSE(env.InsideFence({5, 5.5}));
+}
+
+TEST(EnvironmentTest, ExteriorWallsBlockBoundary) {
+  Environment env;
+  env.SetFence(10.0, 5.0);
+  env.AddExteriorWalls(8.0);
+  // Path from inside to outside crosses exactly one exterior wall.
+  EXPECT_EQ(env.CountWallCrossings({5, 2.5}, {5, 7.0}, 0), 1);
+  EXPECT_DOUBLE_EQ(env.WallAttenuationDb({5, 2.5}, {5, 7.0}, 0,
+                                         Band::k2_4GHz),
+                   8.0);
+  // Path fully inside crosses none.
+  EXPECT_EQ(env.CountWallCrossings({2, 2}, {8, 3}, 0), 0);
+  // Path through the whole premises crosses two exterior walls.
+  EXPECT_EQ(env.CountWallCrossings({5, -2}, {5, 7}, 0), 2);
+}
+
+TEST(EnvironmentTest, FiveGhzPaysExtraAttenuation) {
+  Environment env;
+  env.SetFence(10.0, 5.0);
+  env.AddExteriorWalls(8.0, 3.0);
+  const double att24 =
+      env.WallAttenuationDb({5, 2.5}, {5, 7.0}, 0, Band::k2_4GHz);
+  const double att5 =
+      env.WallAttenuationDb({5, 2.5}, {5, 7.0}, 0, Band::k5GHz);
+  EXPECT_DOUBLE_EQ(att5 - att24, 3.0);
+}
+
+TEST(EnvironmentTest, WallsArePerFloor) {
+  Environment env;
+  env.SetFence(10.0, 5.0, 2);
+  Wall wall;
+  wall.a = {5, 0};
+  wall.b = {5, 5};
+  wall.floor = 1;
+  wall.attenuation_db = 4.0;
+  env.AddWall(wall);
+  EXPECT_EQ(env.CountWallCrossings({2, 2}, {8, 2}, 0), 0);
+  EXPECT_EQ(env.CountWallCrossings({2, 2}, {8, 2}, 1), 1);
+}
+
+TEST(EnvironmentTest, ExteriorWallsOnAllFloors) {
+  Environment env;
+  env.SetFence(4.0, 4.0, 2);
+  env.AddExteriorWalls(8.0);
+  EXPECT_EQ(env.CountWallCrossings({2, 2}, {2, 6}, 0), 1);
+  EXPECT_EQ(env.CountWallCrossings({2, 2}, {2, 6}, 1), 1);
+}
+
+}  // namespace
+}  // namespace gem::rf

@@ -1,0 +1,81 @@
+#include "rf/record_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gem::rf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<ScanRecord> SampleRecords() {
+  std::vector<ScanRecord> records(2);
+  records[0].timestamp_s = 10.5;
+  records[0].inside = true;
+  records[0].readings = {{"aa:01", -50.25, Band::k2_4GHz},
+                         {"aa:02", -71.0, Band::k5GHz}};
+  records[1].timestamp_s = 13.5;
+  records[1].inside = false;
+  records[1].readings = {{"aa:02", -64.0, Band::k5GHz}};
+  return records;
+}
+
+TEST(RecordIoTest, RoundTrip) {
+  const std::string path = TempPath("records_roundtrip.csv");
+  ASSERT_TRUE(SaveRecordsCsv(path, SampleRecords()).ok());
+  auto loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& records = loaded.value();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].timestamp_s, 10.5);
+  EXPECT_TRUE(records[0].inside);
+  ASSERT_EQ(records[0].readings.size(), 2u);
+  EXPECT_EQ(records[0].readings[0].mac, "aa:01");
+  EXPECT_DOUBLE_EQ(records[0].readings[0].rss_dbm, -50.25);
+  EXPECT_EQ(records[0].readings[1].band, Band::k5GHz);
+  EXPECT_FALSE(records[1].inside);
+  EXPECT_EQ(records[1].readings.size(), 1u);
+}
+
+TEST(RecordIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadRecordsCsv("/nonexistent/nope.csv").ok());
+}
+
+TEST(RecordIoTest, MalformedRowRejected) {
+  const std::string path = TempPath("records_bad.csv");
+  std::ofstream out(path);
+  out << "record_id,timestamp_s,inside,mac,rss_dbm,band\n";
+  out << "0,1.0,1,aa:01\n";  // too few columns
+  out.close();
+  EXPECT_FALSE(LoadRecordsCsv(path).ok());
+}
+
+TEST(RecordIoTest, EmptyRecordListRoundTrips) {
+  const std::string path = TempPath("records_empty.csv");
+  ASSERT_TRUE(SaveRecordsCsv(path, {}).ok());
+  auto loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(RecordIoTest, HandComposedFileLoads) {
+  const std::string path = TempPath("records_hand.csv");
+  std::ofstream out(path);
+  out << "record_id,timestamp_s,inside,mac,rss_dbm,band\n"
+      << "7,100,0,de:ad:be:ef,-80.5,2.4\n"
+      << "7,100,0,fe:ed:fa:ce,-60,5\n"
+      << "9,103,1,de:ad:be:ef,-55,2.4\n";
+  out.close();
+  auto loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].readings.size(), 2u);
+  EXPECT_TRUE(loaded.value()[1].inside);
+}
+
+}  // namespace
+}  // namespace gem::rf

@@ -1,0 +1,151 @@
+#include "rf/scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "math/stats.h"
+#include "rf/scenario.h"
+
+namespace gem::rf {
+namespace {
+
+class ScannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = BuildEnvironment(HomePreset(2));  // ~50 m^2 apartment
+    model_ = std::make_unique<PropagationModel>(&env_, PropagationConfig{});
+    scanner_ = std::make_unique<Scanner>(&env_, model_.get());
+  }
+
+  Environment env_;
+  std::unique_ptr<PropagationModel> model_;
+  std::unique_ptr<Scanner> scanner_;
+};
+
+TEST_F(ScannerTest, RecordsAreVariableLength) {
+  math::Rng rng(1);
+  std::set<size_t> lengths;
+  for (int i = 0; i < 60; ++i) {
+    const Point pos{rng.Uniform(0.0, env_.fence_width()),
+                    rng.Uniform(0.0, env_.fence_height())};
+    const ScanRecord record = scanner_->Scan(pos, 0, i, rng);
+    lengths.insert(record.readings.size());
+  }
+  // The defining property the paper is built around: scans differ in
+  // how many MACs they sense.
+  EXPECT_GT(lengths.size(), 2u);
+}
+
+TEST_F(ScannerTest, GroundTruthLabelsFollowFence) {
+  math::Rng rng(2);
+  const ScanRecord in = scanner_->Scan({2, 2}, 0, 0.0, rng);
+  const ScanRecord out = scanner_->Scan({-5, -5}, 0, 1.0, rng);
+  EXPECT_TRUE(in.inside);
+  EXPECT_FALSE(out.inside);
+}
+
+TEST_F(ScannerTest, InsideScansSeeStrongerSignals) {
+  math::Rng rng(3);
+  double inside_mean = 0.0;
+  double outside_mean = 0.0;
+  int inside_n = 0;
+  int outside_n = 0;
+  for (int i = 0; i < 40; ++i) {
+    const ScanRecord in = scanner_->Scan(
+        {rng.Uniform(1.0, env_.fence_width() - 1.0),
+         rng.Uniform(1.0, env_.fence_height() - 1.0)},
+        0, i, rng);
+    for (const Reading& r : in.readings) {
+      inside_mean += r.rss_dbm;
+      ++inside_n;
+    }
+    const ScanRecord out =
+        scanner_->Scan({env_.fence_width() + 15.0, -15.0}, 0, i, rng);
+    for (const Reading& r : out.readings) {
+      outside_mean += r.rss_dbm;
+      ++outside_n;
+    }
+  }
+  ASSERT_GT(inside_n, 0);
+  ASSERT_GT(outside_n, 0);
+  // Far outside, fewer + weaker signals from the home cluster.
+  EXPECT_GT(inside_mean / inside_n, outside_mean / outside_n);
+  EXPECT_GT(inside_n, outside_n);
+}
+
+TEST_F(ScannerTest, TransientMacsAreUnique) {
+  TimeOfDayProfile profile;
+  profile.transient_macs_per_scan = 3.0;
+  scanner_->SetTimeOfDayProfile(profile);
+  math::Rng rng(4);
+  std::set<std::string> transient;
+  int total_transient = 0;
+  for (int i = 0; i < 30; ++i) {
+    const ScanRecord record = scanner_->Scan({2, 2}, 0, i, rng);
+    for (const Reading& r : record.readings) {
+      if (r.mac.rfind("transient:", 0) == 0) {
+        transient.insert(r.mac);
+        ++total_transient;
+      }
+    }
+  }
+  EXPECT_GT(total_transient, 0);
+  EXPECT_EQ(static_cast<int>(transient.size()), total_transient);
+}
+
+TEST_F(ScannerTest, BusyProfileIncreasesVariance) {
+  math::Rng rng1(5);
+  math::Rng rng2(5);
+  Scanner quiet(&env_, model_.get());
+  quiet.SetTimeOfDayProfile(ProfileAt9Pm());
+  Scanner busy(&env_, model_.get());
+  busy.SetTimeOfDayProfile(ProfileAt4Pm());
+
+  auto rss_stddev = [&](const Scanner& scanner, math::Rng& rng) {
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i) {
+      const ScanRecord record = scanner.Scan({3, 3}, 0, i, rng);
+      for (const Reading& r : record.readings) {
+        if (r.mac.rfind("transient:", 0) != 0) values.push_back(r.rss_dbm);
+      }
+    }
+    return math::StdDev(values);
+  };
+  EXPECT_GT(rss_stddev(busy, rng2), rss_stddev(quiet, rng1));
+}
+
+TEST_F(ScannerTest, MeanOffsetShiftsRss) {
+  math::Rng rng1(6);
+  math::Rng rng2(6);
+  TimeOfDayProfile shifted;
+  shifted.mean_offset_db = -10.0;
+  Scanner base(&env_, model_.get());
+  Scanner shifted_scanner(&env_, model_.get());
+  shifted_scanner.SetTimeOfDayProfile(shifted);
+
+  // Track one strong AP: comparing means over *all detected* readings
+  // would be confounded by the detection threshold dropping weak APs
+  // (survivor bias raises the mean).
+  const std::string target = env_.access_points().front().mac;
+  auto mean_rss = [&](const Scanner& scanner, math::Rng& rng) {
+    double sum = 0.0;
+    int n = 0;
+    for (int i = 0; i < 200; ++i) {
+      const ScanRecord record = scanner.Scan({3, 3}, 0, i, rng);
+      for (const Reading& r : record.readings) {
+        if (r.mac == target) {
+          sum += r.rss_dbm;
+          ++n;
+        }
+      }
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  EXPECT_LT(mean_rss(shifted_scanner, rng2), mean_rss(base, rng1) - 7.0);
+}
+
+}  // namespace
+}  // namespace gem::rf

@@ -1,0 +1,123 @@
+#include "rf/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gem::rf {
+namespace {
+
+Environment MakeEnv(double w, double h, int floors = 1) {
+  Environment env;
+  env.SetFence(w, h, floors);
+  return env;
+}
+
+TEST(PerimeterWalkTest, StaysInsideFence) {
+  const Environment env = MakeEnv(8.0, 6.0);
+  const Trajectory traj = PerimeterWalk(env, 0.8, 300.0, 2.0);
+  ASSERT_FALSE(traj.empty());
+  for (const TimedPoint& tp : traj) {
+    EXPECT_TRUE(env.InsideFence(tp.position));
+  }
+}
+
+TEST(PerimeterWalkTest, RespectsScanInterval) {
+  const Environment env = MakeEnv(8.0, 6.0);
+  const Trajectory traj = PerimeterWalk(env, 0.8, 100.0, 2.0);
+  EXPECT_EQ(traj.size(), 50u);
+  EXPECT_DOUBLE_EQ(traj[1].time_s - traj[0].time_s, 2.0);
+}
+
+TEST(PerimeterWalkTest, SpeedControlsStepLength) {
+  const Environment env = MakeEnv(20.0, 20.0);
+  const Trajectory slow = PerimeterWalk(env, 0.4, 40.0, 2.0);
+  const Trajectory fast = PerimeterWalk(env, 1.2, 40.0, 2.0);
+  auto step = [](const Trajectory& t) {
+    const double dx = t[1].position.x - t[0].position.x;
+    const double dy = t[1].position.y - t[0].position.y;
+    return std::hypot(dx, dy);
+  };
+  EXPECT_NEAR(step(slow), 0.8, 1e-9);
+  EXPECT_NEAR(step(fast), 2.4, 1e-9);
+}
+
+TEST(PerimeterWalkTest, CoversAllSides) {
+  const Environment env = MakeEnv(10.0, 10.0);
+  const Trajectory traj = PerimeterWalk(env, 1.0, 200.0, 1.0);
+  bool near_left = false;
+  bool near_right = false;
+  bool near_bottom = false;
+  bool near_top = false;
+  for (const TimedPoint& tp : traj) {
+    near_left |= tp.position.x < 1.0;
+    near_right |= tp.position.x > 9.0;
+    near_bottom |= tp.position.y < 1.0;
+    near_top |= tp.position.y > 9.0;
+  }
+  EXPECT_TRUE(near_left && near_right && near_bottom && near_top);
+}
+
+TEST(PerimeterWalkTest, MultiFloorAlternatesFloors) {
+  const Environment env = MakeEnv(10.0, 8.0, 2);
+  const Trajectory traj = PerimeterWalk(env, 1.0, 600.0, 2.0);
+  bool saw0 = false;
+  bool saw1 = false;
+  for (const TimedPoint& tp : traj) {
+    saw0 |= tp.floor == 0;
+    saw1 |= tp.floor == 1;
+  }
+  EXPECT_TRUE(saw0 && saw1);
+}
+
+TEST(RandomWaypointTest, StaysInside) {
+  const Environment env = MakeEnv(8.0, 6.0);
+  math::Rng rng(1);
+  const Trajectory traj = RandomWaypointInside(env, 0.8, 300.0, 2.0, rng);
+  for (const TimedPoint& tp : traj) {
+    EXPECT_TRUE(env.InsideFence(tp.position));
+  }
+}
+
+TEST(RandomWaypointTest, ActuallyMoves) {
+  const Environment env = MakeEnv(8.0, 6.0);
+  math::Rng rng(2);
+  const Trajectory traj = RandomWaypointInside(env, 0.8, 100.0, 2.0, rng);
+  double total = 0.0;
+  for (size_t i = 1; i < traj.size(); ++i) {
+    total += std::hypot(traj[i].position.x - traj[i - 1].position.x,
+                        traj[i].position.y - traj[i - 1].position.y);
+  }
+  EXPECT_GT(total, 10.0);
+}
+
+TEST(OutsideWalkTest, StaysOutsideWithinRing) {
+  const Environment env = MakeEnv(8.0, 6.0);
+  math::Rng rng(3);
+  const Trajectory traj = OutsideWalk(env, 0.5, 20.0, 0.8, 300.0, 2.0, rng);
+  ASSERT_FALSE(traj.empty());
+  for (const TimedPoint& tp : traj) {
+    EXPECT_FALSE(env.InsideFence(tp.position));
+    // Within the max ring (some slack for corner diagonals).
+    EXPECT_GE(tp.position.x, -20.5);
+    EXPECT_LE(tp.position.x, 28.5);
+  }
+}
+
+TEST(OutsideWalkTest, IncludesNearBoundaryPositions) {
+  const Environment env = MakeEnv(8.0, 6.0);
+  math::Rng rng(4);
+  const Trajectory traj = OutsideWalk(env, 0.3, 15.0, 0.8, 900.0, 1.0, rng);
+  bool some_near = false;
+  for (const TimedPoint& tp : traj) {
+    const double dx =
+        std::max({-tp.position.x, tp.position.x - env.fence_width(), 0.0});
+    const double dy =
+        std::max({-tp.position.y, tp.position.y - env.fence_height(), 0.0});
+    if (std::hypot(dx, dy) < 2.0) some_near = true;
+  }
+  EXPECT_TRUE(some_near);
+}
+
+}  // namespace
+}  // namespace gem::rf
