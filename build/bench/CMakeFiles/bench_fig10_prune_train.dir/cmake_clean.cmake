@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prune_train.dir/bench_fig10_prune_train.cc.o"
+  "CMakeFiles/bench_fig10_prune_train.dir/bench_fig10_prune_train.cc.o.d"
+  "bench_fig10_prune_train"
+  "bench_fig10_prune_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prune_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_markov.cc" "bench/CMakeFiles/bench_fig13_markov.dir/bench_fig13_markov.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_markov.dir/bench_fig13_markov.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/gem_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/gem_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gem_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/gem_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gem_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gem_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_no_bisage.dir/bench_fig7_no_bisage.cc.o"
+  "CMakeFiles/bench_fig7_no_bisage.dir/bench_fig7_no_bisage.cc.o.d"
+  "bench_fig7_no_bisage"
+  "bench_fig7_no_bisage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_no_bisage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

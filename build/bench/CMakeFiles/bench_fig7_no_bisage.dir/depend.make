@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_no_bisage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_roc.dir/bench_fig8_roc.cc.o"
+  "CMakeFiles/bench_fig8_roc.dir/bench_fig8_roc.cc.o.d"
+  "bench_fig8_roc"
+  "bench_fig8_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_users.dir/bench_table2_users.cc.o"
+  "CMakeFiles/bench_table2_users.dir/bench_table2_users.cc.o.d"
+  "bench_table2_users"
+  "bench_table2_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_churn_demo.dir/ap_churn_demo.cpp.o"
+  "CMakeFiles/ap_churn_demo.dir/ap_churn_demo.cpp.o.d"
+  "ap_churn_demo"
+  "ap_churn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_churn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elderly_care.dir/elderly_care.cpp.o"
+  "CMakeFiles/elderly_care.dir/elderly_care.cpp.o.d"
+  "elderly_care"
+  "elderly_care.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elderly_care.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

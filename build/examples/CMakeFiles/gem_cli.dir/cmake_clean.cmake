@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_cli.dir/gem_cli.cpp.o"
+  "CMakeFiles/gem_cli.dir/gem_cli.cpp.o.d"
+  "gem_cli"
+  "gem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

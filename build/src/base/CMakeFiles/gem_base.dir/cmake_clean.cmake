@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_base.dir/logging.cc.o"
+  "CMakeFiles/gem_base.dir/logging.cc.o.d"
+  "CMakeFiles/gem_base.dir/status.cc.o"
+  "CMakeFiles/gem_base.dir/status.cc.o.d"
+  "libgem_base.a"
+  "libgem_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedding_pipeline.cc" "src/core/CMakeFiles/gem_core.dir/embedding_pipeline.cc.o" "gcc" "src/core/CMakeFiles/gem_core.dir/embedding_pipeline.cc.o.d"
+  "/root/repo/src/core/gem.cc" "src/core/CMakeFiles/gem_core.dir/gem.cc.o" "gcc" "src/core/CMakeFiles/gem_core.dir/gem.cc.o.d"
+  "/root/repo/src/core/inoa.cc" "src/core/CMakeFiles/gem_core.dir/inoa.cc.o" "gcc" "src/core/CMakeFiles/gem_core.dir/inoa.cc.o.d"
+  "/root/repo/src/core/signature_home.cc" "src/core/CMakeFiles/gem_core.dir/signature_home.cc.o" "gcc" "src/core/CMakeFiles/gem_core.dir/signature_home.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gem_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gem_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gem_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/gem_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/gem_detect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_core.dir/embedding_pipeline.cc.o"
+  "CMakeFiles/gem_core.dir/embedding_pipeline.cc.o.d"
+  "CMakeFiles/gem_core.dir/gem.cc.o"
+  "CMakeFiles/gem_core.dir/gem.cc.o.d"
+  "CMakeFiles/gem_core.dir/inoa.cc.o"
+  "CMakeFiles/gem_core.dir/inoa.cc.o.d"
+  "CMakeFiles/gem_core.dir/signature_home.cc.o"
+  "CMakeFiles/gem_core.dir/signature_home.cc.o.d"
+  "libgem_core.a"
+  "libgem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/gem_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/gem_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/feature_bagging.cc" "src/detect/CMakeFiles/gem_detect.dir/feature_bagging.cc.o" "gcc" "src/detect/CMakeFiles/gem_detect.dir/feature_bagging.cc.o.d"
+  "/root/repo/src/detect/hbos.cc" "src/detect/CMakeFiles/gem_detect.dir/hbos.cc.o" "gcc" "src/detect/CMakeFiles/gem_detect.dir/hbos.cc.o.d"
+  "/root/repo/src/detect/iforest.cc" "src/detect/CMakeFiles/gem_detect.dir/iforest.cc.o" "gcc" "src/detect/CMakeFiles/gem_detect.dir/iforest.cc.o.d"
+  "/root/repo/src/detect/lof.cc" "src/detect/CMakeFiles/gem_detect.dir/lof.cc.o" "gcc" "src/detect/CMakeFiles/gem_detect.dir/lof.cc.o.d"
+  "/root/repo/src/detect/svdd.cc" "src/detect/CMakeFiles/gem_detect.dir/svdd.cc.o" "gcc" "src/detect/CMakeFiles/gem_detect.dir/svdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gem_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gem_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_detect.dir/detector.cc.o"
+  "CMakeFiles/gem_detect.dir/detector.cc.o.d"
+  "CMakeFiles/gem_detect.dir/feature_bagging.cc.o"
+  "CMakeFiles/gem_detect.dir/feature_bagging.cc.o.d"
+  "CMakeFiles/gem_detect.dir/hbos.cc.o"
+  "CMakeFiles/gem_detect.dir/hbos.cc.o.d"
+  "CMakeFiles/gem_detect.dir/iforest.cc.o"
+  "CMakeFiles/gem_detect.dir/iforest.cc.o.d"
+  "CMakeFiles/gem_detect.dir/lof.cc.o"
+  "CMakeFiles/gem_detect.dir/lof.cc.o.d"
+  "CMakeFiles/gem_detect.dir/svdd.cc.o"
+  "CMakeFiles/gem_detect.dir/svdd.cc.o.d"
+  "libgem_detect.a"
+  "libgem_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

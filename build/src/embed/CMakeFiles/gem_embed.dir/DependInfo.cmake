@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/autoencoder.cc" "src/embed/CMakeFiles/gem_embed.dir/autoencoder.cc.o" "gcc" "src/embed/CMakeFiles/gem_embed.dir/autoencoder.cc.o.d"
+  "/root/repo/src/embed/bisage.cc" "src/embed/CMakeFiles/gem_embed.dir/bisage.cc.o" "gcc" "src/embed/CMakeFiles/gem_embed.dir/bisage.cc.o.d"
+  "/root/repo/src/embed/graphsage.cc" "src/embed/CMakeFiles/gem_embed.dir/graphsage.cc.o" "gcc" "src/embed/CMakeFiles/gem_embed.dir/graphsage.cc.o.d"
+  "/root/repo/src/embed/matrix_rep.cc" "src/embed/CMakeFiles/gem_embed.dir/matrix_rep.cc.o" "gcc" "src/embed/CMakeFiles/gem_embed.dir/matrix_rep.cc.o.d"
+  "/root/repo/src/embed/mds.cc" "src/embed/CMakeFiles/gem_embed.dir/mds.cc.o" "gcc" "src/embed/CMakeFiles/gem_embed.dir/mds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gem_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gem_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/gem_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_embed.dir/autoencoder.cc.o"
+  "CMakeFiles/gem_embed.dir/autoencoder.cc.o.d"
+  "CMakeFiles/gem_embed.dir/bisage.cc.o"
+  "CMakeFiles/gem_embed.dir/bisage.cc.o.d"
+  "CMakeFiles/gem_embed.dir/graphsage.cc.o"
+  "CMakeFiles/gem_embed.dir/graphsage.cc.o.d"
+  "CMakeFiles/gem_embed.dir/matrix_rep.cc.o"
+  "CMakeFiles/gem_embed.dir/matrix_rep.cc.o.d"
+  "CMakeFiles/gem_embed.dir/mds.cc.o"
+  "CMakeFiles/gem_embed.dir/mds.cc.o.d"
+  "libgem_embed.a"
+  "libgem_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

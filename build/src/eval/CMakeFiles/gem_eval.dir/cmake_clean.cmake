@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_eval.dir/csv.cc.o"
+  "CMakeFiles/gem_eval.dir/csv.cc.o.d"
+  "CMakeFiles/gem_eval.dir/evaluate.cc.o"
+  "CMakeFiles/gem_eval.dir/evaluate.cc.o.d"
+  "CMakeFiles/gem_eval.dir/systems.cc.o"
+  "CMakeFiles/gem_eval.dir/systems.cc.o.d"
+  "CMakeFiles/gem_eval.dir/table.cc.o"
+  "CMakeFiles/gem_eval.dir/table.cc.o.d"
+  "libgem_eval.a"
+  "libgem_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/gem_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/gem_graph.dir/edge_weight.cc.o"
+  "CMakeFiles/gem_graph.dir/edge_weight.cc.o.d"
+  "libgem_graph.a"
+  "libgem_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

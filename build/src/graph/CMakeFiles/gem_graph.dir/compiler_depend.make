@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gem_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/alias_sampler.cc" "src/math/CMakeFiles/gem_math.dir/alias_sampler.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/alias_sampler.cc.o.d"
+  "/root/repo/src/math/autograd.cc" "src/math/CMakeFiles/gem_math.dir/autograd.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/autograd.cc.o.d"
+  "/root/repo/src/math/eigen.cc" "src/math/CMakeFiles/gem_math.dir/eigen.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/eigen.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/gem_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/metrics.cc" "src/math/CMakeFiles/gem_math.dir/metrics.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/metrics.cc.o.d"
+  "/root/repo/src/math/optimizer.cc" "src/math/CMakeFiles/gem_math.dir/optimizer.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/optimizer.cc.o.d"
+  "/root/repo/src/math/rng.cc" "src/math/CMakeFiles/gem_math.dir/rng.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/rng.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/gem_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/stats.cc.o.d"
+  "/root/repo/src/math/tsne.cc" "src/math/CMakeFiles/gem_math.dir/tsne.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/tsne.cc.o.d"
+  "/root/repo/src/math/vec.cc" "src/math/CMakeFiles/gem_math.dir/vec.cc.o" "gcc" "src/math/CMakeFiles/gem_math.dir/vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gem_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_math.dir/alias_sampler.cc.o"
+  "CMakeFiles/gem_math.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/gem_math.dir/autograd.cc.o"
+  "CMakeFiles/gem_math.dir/autograd.cc.o.d"
+  "CMakeFiles/gem_math.dir/eigen.cc.o"
+  "CMakeFiles/gem_math.dir/eigen.cc.o.d"
+  "CMakeFiles/gem_math.dir/matrix.cc.o"
+  "CMakeFiles/gem_math.dir/matrix.cc.o.d"
+  "CMakeFiles/gem_math.dir/metrics.cc.o"
+  "CMakeFiles/gem_math.dir/metrics.cc.o.d"
+  "CMakeFiles/gem_math.dir/optimizer.cc.o"
+  "CMakeFiles/gem_math.dir/optimizer.cc.o.d"
+  "CMakeFiles/gem_math.dir/rng.cc.o"
+  "CMakeFiles/gem_math.dir/rng.cc.o.d"
+  "CMakeFiles/gem_math.dir/stats.cc.o"
+  "CMakeFiles/gem_math.dir/stats.cc.o.d"
+  "CMakeFiles/gem_math.dir/tsne.cc.o"
+  "CMakeFiles/gem_math.dir/tsne.cc.o.d"
+  "CMakeFiles/gem_math.dir/vec.cc.o"
+  "CMakeFiles/gem_math.dir/vec.cc.o.d"
+  "libgem_math.a"
+  "libgem_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

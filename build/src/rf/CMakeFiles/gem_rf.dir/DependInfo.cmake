@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/dataset.cc" "src/rf/CMakeFiles/gem_rf.dir/dataset.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/dataset.cc.o.d"
+  "/root/repo/src/rf/dynamics.cc" "src/rf/CMakeFiles/gem_rf.dir/dynamics.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/dynamics.cc.o.d"
+  "/root/repo/src/rf/environment.cc" "src/rf/CMakeFiles/gem_rf.dir/environment.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/environment.cc.o.d"
+  "/root/repo/src/rf/propagation.cc" "src/rf/CMakeFiles/gem_rf.dir/propagation.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/propagation.cc.o.d"
+  "/root/repo/src/rf/record_io.cc" "src/rf/CMakeFiles/gem_rf.dir/record_io.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/record_io.cc.o.d"
+  "/root/repo/src/rf/scanner.cc" "src/rf/CMakeFiles/gem_rf.dir/scanner.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/scanner.cc.o.d"
+  "/root/repo/src/rf/scenario.cc" "src/rf/CMakeFiles/gem_rf.dir/scenario.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/scenario.cc.o.d"
+  "/root/repo/src/rf/trajectory.cc" "src/rf/CMakeFiles/gem_rf.dir/trajectory.cc.o" "gcc" "src/rf/CMakeFiles/gem_rf.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/gem_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/gem_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_rf.dir/dataset.cc.o"
+  "CMakeFiles/gem_rf.dir/dataset.cc.o.d"
+  "CMakeFiles/gem_rf.dir/dynamics.cc.o"
+  "CMakeFiles/gem_rf.dir/dynamics.cc.o.d"
+  "CMakeFiles/gem_rf.dir/environment.cc.o"
+  "CMakeFiles/gem_rf.dir/environment.cc.o.d"
+  "CMakeFiles/gem_rf.dir/propagation.cc.o"
+  "CMakeFiles/gem_rf.dir/propagation.cc.o.d"
+  "CMakeFiles/gem_rf.dir/record_io.cc.o"
+  "CMakeFiles/gem_rf.dir/record_io.cc.o.d"
+  "CMakeFiles/gem_rf.dir/scanner.cc.o"
+  "CMakeFiles/gem_rf.dir/scanner.cc.o.d"
+  "CMakeFiles/gem_rf.dir/scenario.cc.o"
+  "CMakeFiles/gem_rf.dir/scenario.cc.o.d"
+  "CMakeFiles/gem_rf.dir/trajectory.cc.o"
+  "CMakeFiles/gem_rf.dir/trajectory.cc.o.d"
+  "libgem_rf.a"
+  "libgem_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoencoder_test.dir/embed/autoencoder_test.cc.o"
+  "CMakeFiles/autoencoder_test.dir/embed/autoencoder_test.cc.o.d"
+  "autoencoder_test"
+  "autoencoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoencoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

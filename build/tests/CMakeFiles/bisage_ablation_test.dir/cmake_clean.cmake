@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisage_ablation_test.dir/embed/bisage_ablation_test.cc.o"
+  "CMakeFiles/bisage_ablation_test.dir/embed/bisage_ablation_test.cc.o.d"
+  "bisage_ablation_test"
+  "bisage_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisage_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

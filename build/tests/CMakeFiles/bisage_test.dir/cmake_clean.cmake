@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisage_test.dir/embed/bisage_test.cc.o"
+  "CMakeFiles/bisage_test.dir/embed/bisage_test.cc.o.d"
+  "bisage_test"
+  "bisage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

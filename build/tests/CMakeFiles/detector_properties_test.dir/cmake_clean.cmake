@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_properties_test.dir/properties/detector_properties_test.cc.o"
+  "CMakeFiles/detector_properties_test.dir/properties/detector_properties_test.cc.o.d"
+  "detector_properties_test"
+  "detector_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

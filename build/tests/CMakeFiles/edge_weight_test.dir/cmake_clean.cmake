@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_weight_test.dir/graph/edge_weight_test.cc.o"
+  "CMakeFiles/edge_weight_test.dir/graph/edge_weight_test.cc.o.d"
+  "edge_weight_test"
+  "edge_weight_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_weight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_bagging_test.dir/detect/feature_bagging_test.cc.o"
+  "CMakeFiles/feature_bagging_test.dir/detect/feature_bagging_test.cc.o.d"
+  "feature_bagging_test"
+  "feature_bagging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_bagging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

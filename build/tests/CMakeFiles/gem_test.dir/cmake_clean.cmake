@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem_test.dir/core/gem_test.cc.o"
+  "CMakeFiles/gem_test.dir/core/gem_test.cc.o.d"
+  "gem_test"
+  "gem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

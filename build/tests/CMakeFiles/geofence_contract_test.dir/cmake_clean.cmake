@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofence_contract_test.dir/properties/geofence_contract_test.cc.o"
+  "CMakeFiles/geofence_contract_test.dir/properties/geofence_contract_test.cc.o.d"
+  "geofence_contract_test"
+  "geofence_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofence_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsage_test.dir/embed/graphsage_test.cc.o"
+  "CMakeFiles/graphsage_test.dir/embed/graphsage_test.cc.o.d"
+  "graphsage_test"
+  "graphsage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbos_test.dir/detect/hbos_test.cc.o"
+  "CMakeFiles/hbos_test.dir/detect/hbos_test.cc.o.d"
+  "hbos_test"
+  "hbos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lof_test.dir/detect/lof_test.cc.o"
+  "CMakeFiles/lof_test.dir/detect/lof_test.cc.o.d"
+  "lof_test"
+  "lof_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

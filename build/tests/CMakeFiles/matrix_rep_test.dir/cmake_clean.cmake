@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_rep_test.dir/embed/matrix_rep_test.cc.o"
+  "CMakeFiles/matrix_rep_test.dir/embed/matrix_rep_test.cc.o.d"
+  "matrix_rep_test"
+  "matrix_rep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_rep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_properties_test.dir/properties/pipeline_properties_test.cc.o"
+  "CMakeFiles/pipeline_properties_test.dir/properties/pipeline_properties_test.cc.o.d"
+  "pipeline_properties_test"
+  "pipeline_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_properties_test.dir/properties/simulator_properties_test.cc.o"
+  "CMakeFiles/simulator_properties_test.dir/properties/simulator_properties_test.cc.o.d"
+  "simulator_properties_test"
+  "simulator_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svdd_test.dir/detect/svdd_test.cc.o"
+  "CMakeFiles/svdd_test.dir/detect/svdd_test.cc.o.d"
+  "svdd_test"
+  "svdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
