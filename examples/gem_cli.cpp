@@ -8,6 +8,13 @@
 //       test records through it, printing one decision per record and
 //       summary metrics at the end (when the CSV carries ground truth).
 //
+// Observability flags (any command):
+//   --metrics_out=<path>   Write a gem::obs metrics dump after the run
+//                          ("-" = stdout).
+//   --metrics_format=FMT   prom | json | table (default: table).
+//                          With no --metrics_out the dump goes to
+//                          stdout.
+//
 // The CSV format is rf::SaveRecordsCsv's:
 //   record_id,timestamp_s,inside,mac,rss_dbm,band
 // so real-device scan logs can be converted and replayed.
@@ -15,15 +22,67 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/gem.h"
 #include "math/metrics.h"
+#include "obs/export.h"
 #include "rf/dataset.h"
 #include "rf/record_io.h"
 
 using namespace gem;  // NOLINT(build/namespaces) CLI binary
 
 namespace {
+
+struct MetricsFlags {
+  bool requested = false;
+  std::string out = "-";
+  obs::ExportFormat format = obs::ExportFormat::kTable;
+  bool valid = true;
+};
+
+/// Strips --metrics_out / --metrics_format from argv (in place) and
+/// returns the parsed flags; positional parsing sees only what's left.
+MetricsFlags ExtractMetricsFlags(int& argc, char** argv) {
+  MetricsFlags flags;
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
+      flags.requested = true;
+      flags.out = arg + 14;
+      continue;
+    }
+    if (std::strncmp(arg, "--metrics_format=", 17) == 0) {
+      flags.requested = true;
+      const auto format = obs::ParseExportFormat(arg + 17);
+      if (!format.has_value()) {
+        std::fprintf(stderr,
+                     "unknown --metrics_format '%s' (want prom, json or "
+                     "table)\n",
+                     arg + 17);
+        flags.valid = false;
+      } else {
+        flags.format = *format;
+      }
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  return flags;
+}
+
+int DumpMetrics(const MetricsFlags& flags) {
+  if (!flags.requested) return 0;
+  const Status status = obs::WriteMetrics(flags.out, flags.format);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics dump failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
 
 int Simulate(int argc, char** argv) {
   if (argc < 4) {
@@ -106,15 +165,22 @@ int Run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const MetricsFlags metrics = ExtractMetricsFlags(argc, argv);
+  if (!metrics.valid) return 2;
+  int code = 2;
   if (argc >= 2 && std::strcmp(argv[1], "simulate") == 0) {
-    return Simulate(argc, argv);
+    code = Simulate(argc, argv);
+  } else if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
+    code = Run(argc, argv);
+  } else {
+    std::fprintf(stderr,
+                 "gem_cli — geofencing over CSV scan logs\n"
+                 "  gem_cli simulate <train.csv> <test.csv> [user] [seed]\n"
+                 "  gem_cli run <train.csv> <test.csv>\n"
+                 "  flags: --metrics_out=<path|-> "
+                 "--metrics_format={prom,json,table}\n");
+    return 2;
   }
-  if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
-    return Run(argc, argv);
-  }
-  std::fprintf(stderr,
-               "gem_cli — geofencing over CSV scan logs\n"
-               "  gem_cli simulate <train.csv> <test.csv> [user] [seed]\n"
-               "  gem_cli run <train.csv> <test.csv>\n");
-  return 2;
+  const int metrics_code = DumpMetrics(metrics);
+  return code != 0 ? code : metrics_code;
 }

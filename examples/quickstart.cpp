@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/gem.h"
+#include "obs/export.h"
 #include "rf/dataset.h"
 
 using namespace gem;  // NOLINT(build/namespaces) example binary
@@ -54,5 +55,12 @@ int main() {
               data.test.size(),
               100.0 * correct / static_cast<double>(data.test.size()),
               alerts, updates);
+
+  // 4. Every stage above was instrumented by gem::obs — dump the
+  //    Table-III-style per-stage latency + counter breakdown.
+  std::printf("\n== gem::obs metrics ==\n%s",
+              obs::Export(obs::MetricsRegistry::Get(),
+                          obs::ExportFormat::kTable)
+                  .c_str());
   return 0;
 }

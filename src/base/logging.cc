@@ -2,11 +2,25 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace gem {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Guards sink installation and every emission: one log line is one
+/// critical section, so concurrent GEM_LOG lines never interleave.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();  // leaked: usable at exit
+  return *mutex;
+}
+
+LogSink& SinkRef() {
+  static LogSink* sink = new LogSink();  // empty = default stderr sink
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +46,11 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkRef() = std::move(sink);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -44,7 +63,15 @@ LogMessage::~LogMessage() {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkRef();
+  if (sink) {
+    sink(level_, line);
+    return;
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal_logging

@@ -1,6 +1,7 @@
 #ifndef GEM_BASE_LOGGING_H_
 #define GEM_BASE_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,9 +13,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Destination for formatted log lines (without trailing newline).
+/// Invoked under the logging mutex, so a sink needs no locking of its
+/// own but must not log reentrantly.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the default stderr sink; tests and the metrics exporters
+/// use this to capture output. Passing nullptr restores the default.
+void SetLogSink(LogSink sink);
+
 namespace internal_logging {
 
-/// Stream-style log line; emits to stderr on destruction.
+/// Stream-style log line; emits on destruction. Emission is
+/// serialized through a process-wide mutex (with the default sink, a
+/// single fwrite per line), so concurrent log lines never interleave.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,30 @@
+#ifndef GEM_BASE_TEXT_TABLE_H_
+#define GEM_BASE_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gem {
+
+/// Simple fixed-width text table writer, shared by the bench output
+/// (via eval/table.h) and the obs metrics table exporter.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gem
+
+#endif  // GEM_BASE_TEXT_TABLE_H_

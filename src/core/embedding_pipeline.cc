@@ -1,6 +1,8 @@
 #include "core/embedding_pipeline.h"
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gem::core {
 
@@ -16,6 +18,7 @@ EmbeddingPipeline::EmbeddingPipeline(
 
 Status EmbeddingPipeline::Train(
     const std::vector<rf::ScanRecord>& inside_records) {
+  GEM_TRACE_SPAN("pipeline.train");
   Status status = embedder_->Fit(inside_records);
   if (!status.ok()) return status;
   std::vector<math::Vec> embeddings;
@@ -27,16 +30,26 @@ Status EmbeddingPipeline::Train(
 }
 
 InferenceResult EmbeddingPipeline::Infer(const rf::ScanRecord& record) {
+  GEM_TRACE_SPAN("pipeline.infer");
+  static obs::Counter& inside_count =
+      obs::MetricsRegistry::Get().GetCounter("pipeline_decisions_total",
+                                             {{"decision", "inside"}});
+  static obs::Counter& outside_count =
+      obs::MetricsRegistry::Get().GetCounter("pipeline_decisions_total",
+                                             {{"decision", "outside"}});
   const std::optional<math::Vec> embedding = embedder_->EmbedNew(record);
   InferenceResult result;
   if (!embedding.has_value()) {
     result.decision = Decision::kOutside;
     result.score = 1.0;
+    outside_count.Increment();
     return result;
   }
   result.score = detector_->Score(*embedding);
   result.decision = detector_->IsOutlier(*embedding) ? Decision::kOutside
                                                      : Decision::kInside;
+  (result.decision == Decision::kInside ? inside_count : outside_count)
+      .Increment();
   if (online_update_ && result.decision == Decision::kInside) {
     result.model_updated = detector_->MaybeUpdate(*embedding);
   }

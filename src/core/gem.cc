@@ -1,8 +1,20 @@
 #include "core/gem.h"
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gem::core {
+namespace {
+
+/// Decision counters for the three inference stages (Table III's
+/// stage accounting). Resolved once; relaxed atomic adds afterwards.
+obs::Counter& DecisionCounter(const char* decision) {
+  return obs::MetricsRegistry::Get().GetCounter(
+      "gem_decisions_total", {{"decision", decision}});
+}
+
+}  // namespace
 
 Gem::Gem(GemConfig config)
     : config_(config),
@@ -10,15 +22,30 @@ Gem::Gem(GemConfig config)
       detector_(config.detector) {}
 
 Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
-  Status status = embedder_.Fit(inside_records);
+  GEM_TRACE_SPAN("gem.train");
+  static obs::Counter& train_records =
+      obs::MetricsRegistry::Get().GetCounter("gem_train_records_total");
+  train_records.Increment(inside_records.size());
+
+  Status status;
+  {
+    GEM_TRACE_SPAN("gem.train.embedder_fit");
+    status = embedder_.Fit(inside_records);
+  }
   if (!status.ok()) return status;
 
   std::vector<math::Vec> embeddings;
   embeddings.reserve(inside_records.size());
-  for (int i = 0; i < embedder_.num_train(); ++i) {
-    embeddings.push_back(embedder_.TrainEmbedding(i));
+  {
+    GEM_TRACE_SPAN("gem.train.embed_train_set");
+    for (int i = 0; i < embedder_.num_train(); ++i) {
+      embeddings.push_back(embedder_.TrainEmbedding(i));
+    }
   }
-  status = detector_.Fit(embeddings);
+  {
+    GEM_TRACE_SPAN("gem.train.detector_fit");
+    status = detector_.Fit(embeddings);
+  }
   if (!status.ok()) return status;
   trained_ = true;
   return Status::Ok();
@@ -26,11 +53,15 @@ Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
 
 std::optional<math::Vec> Gem::EmbedRecord(const rf::ScanRecord& record) {
   GEM_CHECK(trained_);
+  GEM_TRACE_SPAN("gem.embed");
   return embedder_.EmbedNew(record);
 }
 
 InferenceResult Gem::Detect(const math::Vec& embedding) const {
   GEM_CHECK(trained_);
+  GEM_TRACE_SPAN("gem.detect");
+  static obs::Counter& inside_count = DecisionCounter("inside");
+  static obs::Counter& outside_count = DecisionCounter("outside");
   InferenceResult result;
   // Report the min-max normalized score (monotone in S_T but free of
   // the softmax saturation plateau, so ROC sweeps retain resolution);
@@ -38,18 +69,34 @@ InferenceResult Gem::Detect(const math::Vec& embedding) const {
   result.score = detector_.NormalizedScore(embedding);
   result.decision = detector_.IsOutlier(embedding) ? Decision::kOutside
                                                    : Decision::kInside;
+  (result.decision == Decision::kInside ? inside_count : outside_count)
+      .Increment();
   return result;
 }
 
 bool Gem::Update(const math::Vec& embedding) {
   GEM_CHECK(trained_);
+  GEM_TRACE_SPAN("gem.update");
+  static obs::Counter& offered =
+      obs::MetricsRegistry::Get().GetCounter("gem_update_offered_total");
+  offered.Increment();
   return detector_.MaybeUpdate(embedding);
 }
 
 InferenceResult Gem::Infer(const rf::ScanRecord& record) {
+  GEM_TRACE_SPAN("gem.infer");
+  static obs::Counter& infer_count =
+      obs::MetricsRegistry::Get().GetCounter("gem_infer_total");
+  static obs::Counter& no_common_mac =
+      obs::MetricsRegistry::Get().GetCounter("gem_no_common_mac_total");
+  static obs::Counter& outside_count = DecisionCounter("outside");
+  infer_count.Increment();
+
   const std::optional<math::Vec> embedding = EmbedRecord(record);
   if (!embedding.has_value()) {
     // No MAC in common with anything seen: alert outright.
+    no_common_mac.Increment();
+    outside_count.Increment();
     InferenceResult result;
     result.decision = Decision::kOutside;
     result.score = 1.0;

@@ -6,6 +6,7 @@
 #include "math/stats.h"
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace gem::detect {
 namespace {
@@ -79,6 +80,9 @@ void HistogramModel::Add(const math::Vec& x) {
     } else {
       // Recalculate this dimension's histogram over the widened range
       // (Section V-B: the new embedding recalculates the histograms).
+      static obs::Counter& rebuilds = obs::MetricsRegistry::Get().GetCounter(
+          "gem_hbos_rebuild_total");
+      rebuilds.Increment();
       lo_[j] = std::min(lo_[j], x[j]);
       hi_[j] = std::max(hi_[j], x[j]);
       RebuildDimension(j);
@@ -239,7 +243,17 @@ bool EnhancedHbosDetector::IsOutlier(const math::Vec& x) const {
 }
 
 bool EnhancedHbosDetector::MaybeUpdate(const math::Vec& x) {
-  if (NormalizedScore(x) >= hbar_tau_lower_) return false;
+  // Section V-B self-enhancement accounting: how many confidently
+  // normal embeddings the detector absorbed vs. declined.
+  static obs::Counter& absorbed =
+      obs::MetricsRegistry::Get().GetCounter("gem_od_absorbed_total");
+  static obs::Counter& declined =
+      obs::MetricsRegistry::Get().GetCounter("gem_od_declined_total");
+  if (NormalizedScore(x) >= hbar_tau_lower_) {
+    declined.Increment();
+    return false;
+  }
+  absorbed.Increment();
   model_.Add(x);
   // The normalization anchors stay frozen at their initial-training
   // values: this is what makes the enhanced score independent of the

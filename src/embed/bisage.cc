@@ -1,10 +1,14 @@
 #include "embed/bisage.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "base/check.h"
+#include "base/logging.h"
 #include "math/vec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gem::embed {
 namespace {
@@ -177,6 +181,17 @@ BiSage::NodeVars BiSage::BuildNodeVars(
 }
 
 Status BiSage::Train(const graph::BipartiteGraph& graph) {
+  GEM_TRACE_SPAN("bisage.train");
+  static obs::Counter& walk_count =
+      obs::MetricsRegistry::Get().GetCounter("gem_bisage_walks_total");
+  static obs::Counter& pair_count =
+      obs::MetricsRegistry::Get().GetCounter("gem_bisage_pairs_total");
+  static obs::Gauge& loss_gauge =
+      obs::MetricsRegistry::Get().GetGauge("gem_bisage_epoch_loss");
+  static obs::Histogram& epoch_seconds =
+      obs::MetricsRegistry::Get().GetHistogram("gem_bisage_epoch_seconds",
+                                               obs::LatencyBuckets());
+
   if (graph.num_nodes() == 0) {
     return Status::FailedPrecondition("graph is empty");
   }
@@ -193,6 +208,7 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
     if (graph.type(node) != graph::NodeType::kRecord) continue;
     if (graph.degree(node) == 0) continue;
     for (int w = 0; w < config_.walks_per_node; ++w) {
+      walk_count.Increment();
       std::vector<graph::NodeId> walk;
       if (config_.use_edge_weights) {
         walk = graph.RandomWalk(node, config_.walk_length, rng);
@@ -214,9 +230,11 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
   if (pairs.empty()) {
     return Status::FailedPrecondition("graph has no edges to walk");
   }
+  pair_count.Increment(pairs.size());
 
   math::Tape tape;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     rng.Shuffle(pairs);
     double epoch_loss = 0.0;
     long loss_terms = 0;
@@ -253,6 +271,12 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
       adam_->Step();
     }
     last_epoch_loss_ = epoch_loss / static_cast<double>(loss_terms);
+    loss_gauge.Set(last_epoch_loss_);
+    epoch_seconds.Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - epoch_start)
+                              .count());
+    GEM_LOG(Debug) << "bisage epoch " << epoch + 1 << "/" << config_.epochs
+                   << " loss=" << last_epoch_loss_;
   }
   trained_ = true;
   trained_nodes_ = graph.num_nodes();

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/text_table.h"
 #include "eval/evaluate.h"
 
 namespace gem::eval {
@@ -14,23 +15,9 @@ std::string FormatSummary(const math::Summary& summary);
 /// Formats a plain "0.98" cell.
 std::string FormatValue(double value);
 
-/// Simple fixed-width text table writer for bench output.
-class TextTable {
- public:
-  explicit TextTable(std::vector<std::string> headers);
-
-  void AddRow(std::vector<std::string> cells);
-
-  /// Renders with column auto-sizing.
-  std::string ToString() const;
-
-  /// Prints to stdout.
-  void Print() const;
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
+/// The table writer now lives in base/ (shared with the obs metrics
+/// exporter); this alias keeps the historical eval::TextTable name.
+using TextTable = ::gem::TextTable;
 
 /// Appends the six aggregate metric cells in Table I order
 /// (P_in R_in F_in P_out R_out F_out).

@@ -1,0 +1,40 @@
+#ifndef GEM_OBS_EXPORT_H_
+#define GEM_OBS_EXPORT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+
+namespace gem::obs {
+
+enum class ExportFormat { kPrometheus, kJsonLines, kTable };
+
+/// Parses "prom" / "json" / "table" (the --metrics_format values).
+std::optional<ExportFormat> ParseExportFormat(std::string_view text);
+
+/// Prometheus text exposition format (# TYPE lines, histograms as
+/// cumulative _bucket{le=...} plus _sum / _count).
+std::string ExportPrometheus(const std::vector<MetricSnapshot>& snapshot);
+
+/// One JSON object per line per series; histograms carry bounds,
+/// bucket counts, count and sum.
+std::string ExportJsonLines(const std::vector<MetricSnapshot>& snapshot);
+
+/// Human-readable fixed-width table (base/text_table.h): counters and
+/// gauges as single values, histograms as count / mean / p50 / p90 /
+/// p99.
+std::string ExportTable(const std::vector<MetricSnapshot>& snapshot);
+
+/// Renders the registry's current snapshot in the given format.
+std::string Export(const MetricsRegistry& registry, ExportFormat format);
+
+/// Writes Export() output to `path`; "-" means stdout.
+Status WriteMetrics(const std::string& path, ExportFormat format);
+
+}  // namespace gem::obs
+
+#endif  // GEM_OBS_EXPORT_H_

@@ -1,0 +1,62 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <string>
+
+#include "base/check.h"
+#include "base/logging.h"
+
+namespace gem::obs {
+namespace {
+
+thread_local int t_span_depth = 0;
+
+/// Sampling mask: entry n is timed iff (n & mask) == 0.
+std::atomic<uint64_t> g_sample_mask{(1u << 3) - 1};
+
+}  // namespace
+
+void SetSpanSamplingShift(int shift) {
+  GEM_CHECK(shift >= 0 && shift < 32);
+  g_sample_mask.store((uint64_t{1} << shift) - 1,
+                      std::memory_order_relaxed);
+}
+
+int GetSpanSamplingShift() {
+  const uint64_t mask = g_sample_mask.load(std::memory_order_relaxed);
+  int shift = 0;
+  while ((uint64_t{1} << shift) - 1 != mask) ++shift;
+  return shift;
+}
+
+SpanFamily::SpanFamily(const char* name)
+    : name_(name),
+      latency_(MetricsRegistry::Get().GetHistogram(
+          "gem_span_seconds", LatencyBuckets(), {{"span", name}})),
+      entries_(MetricsRegistry::Get().GetCounter("gem_span_total",
+                                                 {{"span", name}})) {}
+
+ScopedSpan::ScopedSpan(SpanFamily& family) : family_(family) {
+  ++t_span_depth;
+  const uint64_t n = family_.entries().FetchIncrement();
+  sampled_ = (n & g_sample_mask.load(std::memory_order_relaxed)) == 0;
+  if (sampled_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  const int depth = t_span_depth--;
+  if (!sampled_) return;
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  family_.latency().Observe(seconds);
+  if (GetLogLevel() <= LogLevel::kDebug) {
+    GEM_LOG(Debug) << std::string(2 * (depth - 1), ' ') << "span "
+                   << family_.name() << " depth=" << depth << " took "
+                   << seconds * 1e6 << " us";
+  }
+}
+
+int ScopedSpan::CurrentDepth() { return t_span_depth; }
+
+}  // namespace gem::obs

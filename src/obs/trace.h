@@ -1,0 +1,75 @@
+#ifndef GEM_OBS_TRACE_H_
+#define GEM_OBS_TRACE_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace gem::obs {
+
+/// Span latency sampling: wall time is measured on every 2^shift-th
+/// entry of each span family (the entry counter is always exact, and
+/// entry 0 is always timed, so one-shot spans like gem.train are never
+/// missed). The default shift of 3 keeps the per-call overhead of
+/// microsecond-scale hot spans (gem.detect, gem.update) within noise;
+/// 0 times every call (tests use this for deterministic counts).
+void SetSpanSamplingShift(int shift);
+int GetSpanSamplingShift();
+
+/// One-time resolution of the metrics a span name records into:
+/// gem_span_seconds{span=<name>} (latency histogram, LatencyBuckets)
+/// and gem_span_total{span=<name>} (exact entry counter).
+/// GEM_TRACE_SPAN materializes one SpanFamily per call site as a
+/// function-local static, so the per-entry cost is a few relaxed
+/// atomics — no registry lock on the hot path, and clock reads only on
+/// sampled entries.
+class SpanFamily {
+ public:
+  explicit SpanFamily(const char* name);
+
+  const char* name() const { return name_; }
+  Histogram& latency() { return latency_; }
+  Counter& entries() { return entries_; }
+
+ private:
+  const char* name_;
+  Histogram& latency_;
+  Counter& entries_;
+};
+
+/// RAII wall-clock span. On destruction of a sampled entry, records
+/// the elapsed seconds into the family's histogram and, when the log
+/// level admits Debug, emits a nesting-indented "span <name> took
+/// <us>" line.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanFamily& family);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Nesting depth of the innermost live span on this thread
+  /// (0 = no span active).
+  static int CurrentDepth();
+
+ private:
+  SpanFamily& family_;
+  bool sampled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gem::obs
+
+#define GEM_OBS_CONCAT_INNER(a, b) a##b
+#define GEM_OBS_CONCAT(a, b) GEM_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into gem_span_seconds{span=name}.
+/// `name` must be a string literal (it is retained by pointer).
+#define GEM_TRACE_SPAN(name)                                             \
+  static ::gem::obs::SpanFamily GEM_OBS_CONCAT(gem_span_family_,         \
+                                               __LINE__){name};          \
+  ::gem::obs::ScopedSpan GEM_OBS_CONCAT(gem_span_, __LINE__){            \
+      GEM_OBS_CONCAT(gem_span_family_, __LINE__)}
+
+#endif  // GEM_OBS_TRACE_H_

@@ -1,6 +1,8 @@
 #include "rf/dataset.h"
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gem::rf {
 namespace {
@@ -18,6 +20,7 @@ void AppendScans(const Scanner& scanner, const Trajectory& traj,
 
 Dataset GenerateDataset(const Environment& env, const PropagationModel& model,
                         const DatasetOptions& options) {
+  GEM_TRACE_SPAN("rf.generate_dataset");
   math::Rng rng(options.seed);
   Scanner scanner(&env, &model);
   scanner.SetTimeOfDayProfile(options.time_of_day);
@@ -57,6 +60,16 @@ Dataset GenerateDataset(const Environment& env, const PropagationModel& model,
     AppendScans(scanner, traj, t, rng, dataset.test);
     t += options.test_segment_duration_s;
   }
+
+  static obs::Counter& train_records = obs::MetricsRegistry::Get().GetCounter(
+      "gem_dataset_records_total", {{"split", "train"}});
+  static obs::Counter& test_records = obs::MetricsRegistry::Get().GetCounter(
+      "gem_dataset_records_total", {{"split", "test"}});
+  static obs::Gauge& ap_gauge =
+      obs::MetricsRegistry::Get().GetGauge("gem_dataset_aps");
+  train_records.Increment(dataset.train.size());
+  test_records.Increment(dataset.test.size());
+  ap_gauge.Set(static_cast<double>(env.access_points().size()));
   return dataset;
 }
 
