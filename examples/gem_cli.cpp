@@ -7,21 +7,32 @@
 //       Train GEM on the (in-premises) training records and stream the
 //       test records through it, printing one decision per record and
 //       summary metrics at the end (when the CSV carries ground truth).
+//   gem_cli train <train.csv> --snapshot_out=<model.gem>
+//       Train GEM and persist the fitted model as a binary snapshot.
+//   gem_cli serve --snapshots=<a.gem,b.gem,...> --requests=<records.csv>
+//           [--threads=N] [--queue_depth=N]
+//       Load each snapshot as a fence (id = file basename without
+//       .gem), start the multi-tenant serving engine, and replay the
+//       request CSV across the fences round-robin.
 //
 // Observability flags (any command):
 //   --metrics_out=<path>   Write a gem::obs metrics dump after the run
 //                          ("-" = stdout).
 //   --metrics_format=FMT   prom | json | table (default: table).
-//                          With no --metrics_out the dump goes to
-//                          stdout.
+//
+// Unknown --flags and malformed flag values are errors: usage goes to
+// stderr and the exit code is 2.
 //
 // The CSV format is rf::SaveRecordsCsv's:
 //   record_id,timestamp_s,inside,mac,rss_dbm,band
 // so real-device scan logs can be converted and replayed.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gem.h"
@@ -29,48 +40,122 @@
 #include "obs/export.h"
 #include "rf/dataset.h"
 #include "rf/record_io.h"
+#include "serve/engine.h"
+#include "serve/fence_registry.h"
+#include "serve/snapshot.h"
 
 using namespace gem;  // NOLINT(build/namespaces) CLI binary
 
 namespace {
 
+constexpr const char* kUsage =
+    "gem_cli — geofencing over CSV scan logs\n"
+    "  gem_cli simulate <train.csv> <test.csv> [user 0-9] [seed]\n"
+    "  gem_cli run <train.csv> <test.csv>\n"
+    "  gem_cli train <train.csv> --snapshot_out=<model.gem>\n"
+    "  gem_cli serve --snapshots=<a.gem,b.gem,...> "
+    "--requests=<records.csv>\n"
+    "          [--threads=N] [--queue_depth=N]\n"
+    "  any command: --metrics_out=<path|-> "
+    "--metrics_format={prom,json,table}\n";
+
+int Usage() {
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+struct ParsedArgs {
+  std::vector<std::string> positional;  // [0] is the subcommand
+  // --key=value and bare --key flags, in order.
+  std::vector<std::pair<std::string, std::string>> flags;
+};
+
+/// Splits argv into positionals and --key[=value] flags. Flag
+/// legality is checked per subcommand afterwards.
+ParsedArgs SplitArgs(int argc, char** argv) {
+  ParsedArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.flags.emplace_back(arg.substr(2), "");
+      } else {
+        args.flags.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
 struct MetricsFlags {
   bool requested = false;
   std::string out = "-";
   obs::ExportFormat format = obs::ExportFormat::kTable;
-  bool valid = true;
 };
 
-/// Strips --metrics_out / --metrics_format from argv (in place) and
-/// returns the parsed flags; positional parsing sees only what's left.
-MetricsFlags ExtractMetricsFlags(int& argc, char** argv) {
-  MetricsFlags flags;
-  int kept = 0;
-  for (int i = 0; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
-      flags.requested = true;
-      flags.out = arg + 14;
+/// Common flag table: every subcommand accepts the metrics flags;
+/// anything not in `allowed` (nor a metrics flag) is a usage error.
+bool CheckFlags(const ParsedArgs& args,
+                const std::vector<std::string>& allowed,
+                MetricsFlags* metrics) {
+  for (const auto& [key, value] : args.flags) {
+    if (key == "metrics_out") {
+      if (value.empty()) {
+        std::fprintf(stderr, "--metrics_out needs a path (or -)\n");
+        return false;
+      }
+      metrics->requested = true;
+      metrics->out = value;
       continue;
     }
-    if (std::strncmp(arg, "--metrics_format=", 17) == 0) {
-      flags.requested = true;
-      const auto format = obs::ParseExportFormat(arg + 17);
+    if (key == "metrics_format") {
+      const auto format = obs::ParseExportFormat(value);
       if (!format.has_value()) {
         std::fprintf(stderr,
                      "unknown --metrics_format '%s' (want prom, json or "
                      "table)\n",
-                     arg + 17);
-        flags.valid = false;
-      } else {
-        flags.format = *format;
+                     value.c_str());
+        return false;
       }
+      metrics->requested = true;
+      metrics->format = *format;
       continue;
     }
-    argv[kept++] = argv[i];
+    bool ok = false;
+    for (const std::string& name : allowed) ok = ok || name == key;
+    if (!ok) {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      return false;
+    }
   }
-  argc = kept;
-  return flags;
+  return true;
+}
+
+std::string FlagValue(const ParsedArgs& args, const std::string& key,
+                      const std::string& fallback = "") {
+  for (const auto& [k, v] : args.flags) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+/// Strict positive-int flag parse; returns false (with a message) on
+/// garbage like --threads=abc or --threads=0.
+bool ParsePositiveInt(const std::string& value, const char* flag_name,
+                      int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || v < 1 ||
+      v > 1 << 20) {
+    std::fprintf(stderr, "--%s needs a positive integer, got '%s'\n",
+                 flag_name, value.c_str());
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
 }
 
 int DumpMetrics(const MetricsFlags& flags) {
@@ -84,15 +169,39 @@ int DumpMetrics(const MetricsFlags& flags) {
   return 0;
 }
 
-int Simulate(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr,
-                 "usage: gem_cli simulate <train.csv> <test.csv> "
-                 "[user 0-9] [seed]\n");
-    return 2;
+std::vector<std::string> SplitCsvList(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  const int user = argc > 4 ? std::atoi(argv[4]) : 2;
-  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 7;
+  return parts;
+}
+
+/// "out/home_b.gem" -> "home_b": fence ids come from snapshot basenames.
+std::string FenceIdFromPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.rfind(".gem");
+  if (dot != std::string::npos && dot + 4 == base.size()) {
+    base.resize(dot);
+  }
+  return base.empty() ? path : base;
+}
+
+int Simulate(const ParsedArgs& args) {
+  if (args.positional.size() < 3) return Usage();
+  const int user =
+      args.positional.size() > 3 ? std::atoi(args.positional[3].c_str()) : 2;
+  const uint64_t seed =
+      args.positional.size() > 4
+          ? std::strtoull(args.positional[4].c_str(), nullptr, 10)
+          : 7;
   if (user < 0 || user > 9) {
     std::fprintf(stderr, "user must be in [0, 9]\n");
     return 2;
@@ -101,8 +210,8 @@ int Simulate(int argc, char** argv) {
   options.seed = seed;
   const rf::Dataset data =
       rf::GenerateScenarioDataset(rf::HomePreset(user), options);
-  Status status = rf::SaveRecordsCsv(argv[2], data.train);
-  if (status.ok()) status = rf::SaveRecordsCsv(argv[3], data.test);
+  Status status = rf::SaveRecordsCsv(args.positional[1], data.train);
+  if (status.ok()) status = rf::SaveRecordsCsv(args.positional[2], data.test);
   if (!status.ok()) {
     std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
     return 1;
@@ -114,38 +223,36 @@ int Simulate(int argc, char** argv) {
   return 0;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: gem_cli run <train.csv> <test.csv>\n");
-    return 2;
-  }
-  auto train = rf::LoadRecordsCsv(argv[2]);
-  if (!train.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
-                 train.status().ToString().c_str());
+Result<core::Gem> TrainFromCsv(const std::string& path) {
+  auto train = rf::LoadRecordsCsv(path);
+  if (!train.ok()) return train.status();
+  core::Gem gem{core::GemConfig{}};
+  const Status status = gem.Train(train.value());
+  if (!status.ok()) return status;
+  std::fprintf(stderr, "trained on %zu records (%d MACs)\n",
+               train.value().size(), gem.embedder().graph().num_macs());
+  return gem;
+}
+
+int Run(const ParsedArgs& args) {
+  if (args.positional.size() < 3) return Usage();
+  auto gem = TrainFromCsv(args.positional[1]);
+  if (!gem.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 gem.status().ToString().c_str());
     return 1;
   }
-  auto test = rf::LoadRecordsCsv(argv[3]);
+  auto test = rf::LoadRecordsCsv(args.positional[2]);
   if (!test.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", argv[3],
+    std::fprintf(stderr, "cannot load %s: %s\n", args.positional[2].c_str(),
                  test.status().ToString().c_str());
     return 1;
   }
 
-  core::Gem gem{core::GemConfig{}};
-  const Status status = gem.Train(train.value());
-  if (!status.ok()) {
-    std::fprintf(stderr, "training failed: %s\n",
-                 status.ToString().c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "trained on %zu records (%d MACs)\n",
-               train.value().size(), gem.embedder().graph().num_macs());
-
   std::vector<bool> actual, predicted;
   std::printf("timestamp_s,decision,score,updated\n");
   for (const rf::ScanRecord& record : test.value()) {
-    const core::InferenceResult result = gem.Infer(record);
+    const core::InferenceResult result = gem.value().Infer(record);
     const bool inside = result.decision == core::Decision::kInside;
     std::printf("%.1f,%s,%.4f,%d\n", record.timestamp_s,
                 inside ? "inside" : "OUTSIDE", result.score,
@@ -162,24 +269,137 @@ int Run(int argc, char** argv) {
   return 0;
 }
 
+int Train(const ParsedArgs& args) {
+  if (args.positional.size() < 2) return Usage();
+  const std::string snapshot_out = FlagValue(args, "snapshot_out");
+  if (snapshot_out.empty()) {
+    std::fprintf(stderr, "train needs --snapshot_out=<model.gem>\n");
+    return 2;
+  }
+  auto gem = TrainFromCsv(args.positional[1]);
+  if (!gem.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 gem.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = serve::SaveSnapshot(snapshot_out, gem.value());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot written to %s\n", snapshot_out.c_str());
+  return 0;
+}
+
+int Serve(const ParsedArgs& args) {
+  const std::vector<std::string> snapshot_paths =
+      SplitCsvList(FlagValue(args, "snapshots"));
+  const std::string requests_path = FlagValue(args, "requests");
+  if (snapshot_paths.empty() || requests_path.empty()) {
+    std::fprintf(stderr,
+                 "serve needs --snapshots=<a.gem,...> and "
+                 "--requests=<records.csv>\n");
+    return 2;
+  }
+  serve::EngineOptions options;
+  const std::string threads_s = FlagValue(args, "threads");
+  if (!threads_s.empty() &&
+      !ParsePositiveInt(threads_s, "threads", &options.num_threads)) {
+    return 2;
+  }
+  const std::string depth_s = FlagValue(args, "queue_depth");
+  if (!depth_s.empty()) {
+    int depth = 0;
+    if (!ParsePositiveInt(depth_s, "queue_depth", &depth)) return 2;
+    options.max_queue_depth = static_cast<size_t>(depth);
+  }
+
+  serve::FenceRegistry registry;
+  for (const std::string& path : snapshot_paths) {
+    const std::string fence_id = FenceIdFromPath(path);
+    auto generation = registry.InstallFromSnapshot(fence_id, path);
+    if (!generation.ok()) {
+      std::fprintf(stderr, "cannot load snapshot %s: %s\n", path.c_str(),
+                   generation.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded fence '%s' (generation %llu) from %s\n",
+                 fence_id.c_str(),
+                 static_cast<unsigned long long>(generation.value()),
+                 path.c_str());
+  }
+
+  auto requests = rf::LoadRecordsCsv(requests_path);
+  if (!requests.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", requests_path.c_str(),
+                 requests.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> fence_ids = registry.FenceIds();
+  serve::Engine engine(&registry, options);
+  std::printf("fence_id,timestamp_s,decision,score,generation\n");
+  size_t shed = 0;
+  for (size_t i = 0; i < requests.value().size(); ++i) {
+    serve::ServeRequest request;
+    request.fence_id = fence_ids[i % fence_ids.size()];
+    request.record = requests.value()[i];
+    serve::ServeResponse response = engine.InferBlocking(request);
+    // The bounded queue sheds under overload; a driver replaying a file
+    // just retries after a beat.
+    while (response.status.code() == StatusCode::kUnavailable) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++shed;
+      response = engine.InferBlocking(request);
+    }
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "request %zu failed: %s\n", i,
+                   response.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s,%.1f,%s,%.4f,%llu\n", request.fence_id.c_str(),
+                request.record.timestamp_s,
+                response.result.decision == core::Decision::kInside
+                    ? "inside"
+                    : "OUTSIDE",
+                response.result.score,
+                static_cast<unsigned long long>(response.fence_generation));
+  }
+  engine.Shutdown();
+  std::fprintf(stderr, "served %zu requests across %zu fences (%zu "
+               "retried after backpressure)\n",
+               requests.value().size(), fence_ids.size(), shed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const MetricsFlags metrics = ExtractMetricsFlags(argc, argv);
-  if (!metrics.valid) return 2;
-  int code = 2;
-  if (argc >= 2 && std::strcmp(argv[1], "simulate") == 0) {
-    code = Simulate(argc, argv);
-  } else if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
-    code = Run(argc, argv);
+  const ParsedArgs args = SplitArgs(argc, argv);
+  if (args.positional.empty()) return Usage();
+  const std::string& command = args.positional[0];
+
+  std::vector<std::string> allowed;
+  if (command == "train") {
+    allowed = {"snapshot_out"};
+  } else if (command == "serve") {
+    allowed = {"snapshots", "requests", "threads", "queue_depth"};
+  } else if (command != "simulate" && command != "run") {
+    return Usage();
+  }
+  MetricsFlags metrics;
+  if (!CheckFlags(args, allowed, &metrics)) return Usage();
+
+  int code;
+  if (command == "simulate") {
+    code = Simulate(args);
+  } else if (command == "run") {
+    code = Run(args);
+  } else if (command == "train") {
+    code = Train(args);
   } else {
-    std::fprintf(stderr,
-                 "gem_cli — geofencing over CSV scan logs\n"
-                 "  gem_cli simulate <train.csv> <test.csv> [user] [seed]\n"
-                 "  gem_cli run <train.csv> <test.csv>\n"
-                 "  flags: --metrics_out=<path|-> "
-                 "--metrics_format={prom,json,table}\n");
-    return 2;
+    code = Serve(args);
   }
   const int metrics_code = DumpMetrics(metrics);
   return code != 0 ? code : metrics_code;

@@ -17,6 +17,10 @@ const char* CodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -17,6 +17,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  /// Transient overload: the caller should back off and retry (the
+  /// serving engine returns this when its request queue is full).
+  kUnavailable,
+  /// Persisted data failed validation (bad magic, checksum mismatch,
+  /// truncation): the input is unusable, retrying will not help.
+  kDataLoss,
 };
 
 /// A success-or-error value. Cheap to copy on the success path.
@@ -42,6 +48,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

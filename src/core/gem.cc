@@ -21,6 +21,20 @@ Gem::Gem(GemConfig config)
       embedder_(config.bisage, config.edge_weight),
       detector_(config.detector) {}
 
+Gem::Gem(FromPartsTag, GemConfig config, embed::BiSageEmbedder embedder,
+         detect::EnhancedHbosDetector detector)
+    : config_(std::move(config)),
+      embedder_(std::move(embedder)),
+      detector_(std::move(detector)),
+      trained_(true) {}
+
+Gem Gem::FromParts(GemConfig config, embed::BiSageEmbedder embedder,
+                   detect::EnhancedHbosDetector detector) {
+  GEM_CHECK(embedder.model().trained());
+  return Gem(FromPartsTag{}, std::move(config), std::move(embedder),
+             std::move(detector));
+}
+
 Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
   GEM_TRACE_SPAN("gem.train");
   static obs::Counter& train_records =

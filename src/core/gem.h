@@ -53,8 +53,19 @@ class Gem : public GeofencingSystem {
   const GemConfig& config() const { return config_; }
   const embed::BiSageEmbedder& embedder() const { return embedder_; }
   const detect::EnhancedHbosDetector& detector() const { return detector_; }
+  bool trained() const { return trained_; }
+
+  /// Snapshot support (serve/snapshot.cc): reassembles a trained Gem
+  /// from restored components. The embedder must already be fitted and
+  /// the detector already carry its persisted state.
+  static Gem FromParts(GemConfig config, embed::BiSageEmbedder embedder,
+                       detect::EnhancedHbosDetector detector);
 
  private:
+  struct FromPartsTag {};
+  Gem(FromPartsTag, GemConfig config, embed::BiSageEmbedder embedder,
+      detect::EnhancedHbosDetector detector);
+
   GemConfig config_;
   embed::BiSageEmbedder embedder_;
   detect::EnhancedHbosDetector detector_;

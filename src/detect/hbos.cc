@@ -13,16 +13,32 @@ namespace {
 
 constexpr double kLaplace = 0.5;
 
+/// Fixed seed for the retention reservoir: downsampling is part of the
+/// model's deterministic state, not an experiment knob.
+constexpr uint64_t kReservoirSeed = 0x9E5E7401Dull;
+
+obs::Counter& EvictionCounter() {
+  static obs::Counter& evicted =
+      obs::MetricsRegistry::Get().GetCounter("gem_hbos_evicted_total");
+  return evicted;
+}
+
 }  // namespace
 
-Status HistogramModel::Fit(const std::vector<math::Vec>& data, int bins) {
+Status HistogramModel::Fit(const std::vector<math::Vec>& data, int bins,
+                           long max_retained) {
   if (data.empty()) {
     return Status::InvalidArgument("no training data for histograms");
   }
   if (bins < 1) {
     return Status::InvalidArgument("bin count must be >= 1");
   }
+  if (max_retained < 0) {
+    return Status::InvalidArgument("max_retained must be >= 0");
+  }
   bins_ = bins;
+  max_retained_ = max_retained;
+  reservoir_rng_ = math::Rng(kReservoirSeed);
   const int d = static_cast<int>(data[0].size());
   lo_.assign(d, 0.0);
   hi_.assign(d, 0.0);
@@ -40,7 +56,7 @@ Status HistogramModel::Fit(const std::vector<math::Vec>& data, int bins) {
     hi_[j] = hi;
   }
   counts_ = math::Matrix(d, bins_, 0.0);
-  data_ = data;
+  data_.clear();
   samples_ = 0;
   for (const math::Vec& row : data) {
     for (int j = 0; j < d; ++j) {
@@ -49,16 +65,40 @@ Status HistogramModel::Fit(const std::vector<math::Vec>& data, int bins) {
       counts_.At(j, bin) += 1.0;
     }
     ++samples_;
+    Retain(row);
   }
   return Status::Ok();
 }
 
+bool HistogramModel::Retain(const math::Vec& x) {
+  if (max_retained_ <= 0 ||
+      static_cast<long>(data_.size()) < max_retained_) {
+    data_.push_back(x);
+    return false;
+  }
+  // Algorithm R over the stream of all samples seen: the x-th arrival
+  // replaces a uniformly random reservoir slot with probability
+  // max_retained / samples, so the reservoir stays a uniform sample.
+  const uint64_t slot =
+      reservoir_rng_.Next() % static_cast<uint64_t>(samples_);
+  if (slot < static_cast<uint64_t>(max_retained_)) {
+    data_[static_cast<size_t>(slot)] = x;
+  }
+  EvictionCounter().Increment();
+  return true;
+}
+
 void HistogramModel::RebuildDimension(int dim) {
+  // With a bounded reservoir the retained rows stand in for all
+  // samples_ observations: scale the recount so the dimension's total
+  // mass stays samples_ (exactly 1.0 when retention is unlimited).
+  const double scale =
+      static_cast<double>(samples_) / static_cast<double>(data_.size());
   for (int b = 0; b < bins_; ++b) counts_.At(dim, b) = 0.0;
   for (const math::Vec& row : data_) {
     const int bin = BinIndex(dim, row[dim]);
     GEM_DCHECK(bin >= 0);
-    counts_.At(dim, bin) += 1.0;
+    counts_.At(dim, bin) += scale;
   }
 }
 
@@ -71,8 +111,8 @@ int HistogramModel::BinIndex(int dim, double value) const {
 
 void HistogramModel::Add(const math::Vec& x) {
   GEM_CHECK(static_cast<int>(x.size()) == dimensions());
-  data_.push_back(x);
   ++samples_;
+  Retain(x);
   for (int j = 0; j < dimensions(); ++j) {
     const int bin = BinIndex(j, x[j]);
     if (bin >= 0) {
@@ -105,8 +145,61 @@ double HistogramModel::RawScore(const math::Vec& x) const {
   return score;
 }
 
+HistogramModel::PersistedState HistogramModel::ExportState() const {
+  PersistedState state;
+  state.bins = bins_;
+  state.samples = samples_;
+  state.max_retained = max_retained_;
+  state.lo = lo_;
+  state.hi = hi_;
+  state.counts = counts_;
+  state.data = data_;
+  state.reservoir_rng = reservoir_rng_.SaveState();
+  return state;
+}
+
+Result<HistogramModel> HistogramModel::FromState(PersistedState state) {
+  const int d = static_cast<int>(state.lo.size());
+  if (state.bins < 1 || state.samples < 1 || d < 1) {
+    return Status::InvalidArgument("histogram state: empty model");
+  }
+  if (state.hi.size() != state.lo.size()) {
+    return Status::InvalidArgument("histogram state: lo/hi size mismatch");
+  }
+  if (state.counts.rows() != d || state.counts.cols() != state.bins) {
+    return Status::InvalidArgument("histogram state: counts shape mismatch");
+  }
+  if (state.max_retained < 0 ||
+      state.data.size() > static_cast<size_t>(state.samples)) {
+    return Status::InvalidArgument("histogram state: bad retention counts");
+  }
+  if (state.max_retained > 0 &&
+      state.data.size() > static_cast<size_t>(state.max_retained)) {
+    return Status::InvalidArgument("histogram state: reservoir overflow");
+  }
+  if (state.data.empty()) {
+    return Status::InvalidArgument("histogram state: no retained samples");
+  }
+  for (const math::Vec& row : state.data) {
+    if (static_cast<int>(row.size()) != d) {
+      return Status::InvalidArgument("histogram state: ragged data row");
+    }
+  }
+  HistogramModel model;
+  model.bins_ = state.bins;
+  model.samples_ = state.samples;
+  model.max_retained_ = state.max_retained;
+  model.lo_ = std::move(state.lo);
+  model.hi_ = std::move(state.hi);
+  model.counts_ = std::move(state.counts);
+  model.data_ = std::move(state.data);
+  model.reservoir_rng_.RestoreState(state.reservoir_rng);
+  return model;
+}
+
 Status HbosDetector::Fit(const std::vector<math::Vec>& normal) {
-  Status status = model_.Fit(normal, options_.bins);
+  Status status =
+      model_.Fit(normal, options_.bins, options_.max_retained_samples);
   if (!status.ok()) return status;
 
   math::Vec scores;
@@ -140,7 +233,8 @@ double Logit(double p) { return std::log(p / (1.0 - p)); }
 }  // namespace
 
 EnhancedHbosDetector::EnhancedHbosDetector(EnhancedHbosOptions options)
-    : HbosDetector(HbosOptions{options.bins, 0.1}),
+    : HbosDetector(
+          HbosOptions{options.bins, 0.1, options.max_retained_samples}),
       enhanced_options_(options) {
   GEM_CHECK(options.temperature > 0.0);
   GEM_CHECK(options.tau_lower <= options.tau_upper);
@@ -221,6 +315,41 @@ Status EnhancedHbosDetector::Fit(const std::vector<math::Vec>& normal) {
                    Logit(enhanced_options_.tau_lower)) / 2.0;
   }
   return Status::Ok();
+}
+
+EnhancedHbosDetector::PersistedState EnhancedHbosDetector::ExportState()
+    const {
+  PersistedState state;
+  state.model = model_.ExportState();
+  state.score_lo = score_lo_;
+  state.score_hi = score_hi_;
+  state.threshold = threshold_;
+  state.hbar_tau_upper = hbar_tau_upper_;
+  state.hbar_tau_lower = hbar_tau_lower_;
+  return state;
+}
+
+Result<EnhancedHbosDetector> EnhancedHbosDetector::FromState(
+    EnhancedHbosOptions options, PersistedState state) {
+  if (!(options.temperature > 0.0) ||
+      !(options.tau_lower <= options.tau_upper) ||
+      !(options.tau_lower > 0.0 && options.tau_upper < 1.0)) {
+    return Status::InvalidArgument("detector state: invalid thresholds");
+  }
+  if (!(state.score_hi > state.score_lo)) {
+    return Status::InvalidArgument(
+        "detector state: degenerate score normalization range");
+  }
+  Result<HistogramModel> model = HistogramModel::FromState(std::move(state.model));
+  if (!model.ok()) return model.status();
+  EnhancedHbosDetector detector(options);
+  detector.model_ = std::move(model).value();
+  detector.score_lo_ = state.score_lo;
+  detector.score_hi_ = state.score_hi;
+  detector.threshold_ = state.threshold;
+  detector.hbar_tau_upper_ = state.hbar_tau_upper;
+  detector.hbar_tau_lower_ = state.hbar_tau_lower;
+  return detector;
 }
 
 double EnhancedHbosDetector::NormalizedScore(const math::Vec& x) const {

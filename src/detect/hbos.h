@@ -5,6 +5,7 @@
 
 #include "detect/detector.h"
 #include "math/matrix.h"
+#include "math/rng.h"
 
 namespace gem::detect {
 
@@ -19,7 +20,10 @@ class HistogramModel {
   HistogramModel() = default;
 
   /// Builds m-bin histograms per dimension from the data rows.
-  Status Fit(const std::vector<math::Vec>& data, int bins);
+  /// `max_retained` > 0 bounds the retained-sample buffer (see below);
+  /// 0 retains every sample forever (the historical behavior).
+  Status Fit(const std::vector<math::Vec>& data, int bins,
+             long max_retained = 0);
 
   /// Adds one sample (Equation (9)'s hist_j counts grow). In-range
   /// values are a cheap increment; out-of-range values trigger a
@@ -34,19 +38,45 @@ class HistogramModel {
   int dimensions() const { return static_cast<int>(lo_.size()); }
   int bins() const { return bins_; }
   long samples() const { return samples_; }
-  /// All samples the model has seen (training + absorbed updates).
+  /// Samples retained for range-expanding recounts. With an unlimited
+  /// buffer this is every sample the model has seen (training +
+  /// absorbed updates); with `max_retained` set it is a deterministic
+  /// uniform reservoir over them, and recounts scale the reservoir back
+  /// up to `samples()` total mass.
   const std::vector<math::Vec>& data() const { return data_; }
+  long max_retained() const { return max_retained_; }
+
+  /// Snapshot support (serve/snapshot.cc): the full mutable state, so a
+  /// fitted model round-trips bit-identically through the wire format.
+  struct PersistedState {
+    int bins = 0;
+    long samples = 0;
+    long max_retained = 0;
+    math::Vec lo;
+    math::Vec hi;
+    math::Matrix counts;
+    std::vector<math::Vec> data;
+    math::Rng::State reservoir_rng;
+  };
+  PersistedState ExportState() const;
+  static Result<HistogramModel> FromState(PersistedState state);
 
  private:
   int BinIndex(int dim, double value) const;  // -1 when out of range
   void RebuildDimension(int dim);
+  /// Reservoir-samples x into data_ (Algorithm R on the stream of all
+  /// Add()ed samples); returns whether a retained sample was evicted
+  /// (or x itself dropped) to honor max_retained_.
+  bool Retain(const math::Vec& x);
 
   int bins_ = 0;
   long samples_ = 0;
+  long max_retained_ = 0;         // 0 = unlimited
   math::Vec lo_;
   math::Vec hi_;
   math::Matrix counts_;           // dimensions x bins
   std::vector<math::Vec> data_;   // retained for range-expanding recounts
+  math::Rng reservoir_rng_{0x9E5E7401Dull};
 };
 
 /// The original histogram-based outlier score detector (HBOS,
@@ -56,6 +86,10 @@ class HistogramModel {
 struct HbosOptions {
   int bins = 10;
   double contamination = 0.1;
+  /// Upper bound on samples the histogram model retains for its
+  /// range-expanding recounts (0 = unlimited). A long-lived server
+  /// absorbing confident normals otherwise grows without bound.
+  long max_retained_samples = 0;
 };
 
 class HbosDetector : public OutlierDetector {
@@ -68,6 +102,9 @@ class HbosDetector : public OutlierDetector {
   bool IsOutlier(const math::Vec& x) const override;
 
   double threshold() const { return threshold_; }
+  double score_lo() const { return score_lo_; }
+  double score_hi() const { return score_hi_; }
+  const HistogramModel& model() const { return model_; }
 
  protected:
   /// Normalizes a raw score with the frozen training min/max.
@@ -109,6 +146,9 @@ struct EnhancedHbosOptions {
   double calibration_upper_percentile = 90.0;
   double calibration_spread_factor = 0.5;
   double calibration_lower_percentile = 50.0;
+  /// Bound on retained samples in the histogram model (0 = unlimited);
+  /// see HbosOptions::max_retained_samples.
+  long max_retained_samples = 0;
 };
 
 class EnhancedHbosDetector : public HbosDetector {
@@ -139,6 +179,20 @@ class EnhancedHbosDetector : public HbosDetector {
   const EnhancedHbosOptions& enhanced_options() const {
     return enhanced_options_;
   }
+
+  /// Snapshot support (serve/snapshot.cc): everything Fit() derived,
+  /// so a fitted detector round-trips without refitting.
+  struct PersistedState {
+    HistogramModel::PersistedState model;
+    double score_lo = 0.0;
+    double score_hi = 1.0;
+    double threshold = 1.0;
+    double hbar_tau_upper = 0.5;
+    double hbar_tau_lower = 0.3;
+  };
+  PersistedState ExportState() const;
+  static Result<EnhancedHbosDetector> FromState(EnhancedHbosOptions options,
+                                                PersistedState state);
 
  private:
   EnhancedHbosOptions enhanced_options_;

@@ -373,6 +373,58 @@ math::Vec BiSage::AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
   return InferNode(graph, node, config_.num_layers, rng, memo).l;
 }
 
+BiSage::TrainedState BiSage::ExportTrained() const {
+  TrainedState state;
+  state.h_table = h_table_;
+  state.l_table = l_table_;
+  state.w_h.reserve(w_h_.size());
+  state.w_l.reserve(w_l_.size());
+  for (const auto& p : w_h_) state.w_h.push_back(p->value);
+  for (const auto& p : w_l_) state.w_l.push_back(p->value);
+  state.init_rng = init_rng_.SaveState();
+  state.trained_nodes = trained_nodes_;
+  state.last_epoch_loss = last_epoch_loss_;
+  return state;
+}
+
+Status BiSage::RestoreTrained(TrainedState state) {
+  const int d = config_.dimension;
+  if (state.w_h.size() != w_h_.size() || state.w_l.size() != w_l_.size()) {
+    return Status::InvalidArgument("bisage state: layer count mismatch");
+  }
+  for (const math::Matrix& w : state.w_h) {
+    if (w.rows() != d || w.cols() != 2 * d) {
+      return Status::InvalidArgument("bisage state: weight shape mismatch");
+    }
+  }
+  for (const math::Matrix& w : state.w_l) {
+    if (w.rows() != d || w.cols() != 2 * d) {
+      return Status::InvalidArgument("bisage state: weight shape mismatch");
+    }
+  }
+  if (state.h_table.cols() != d || state.l_table.cols() != d ||
+      state.h_table.rows() != state.l_table.rows()) {
+    return Status::InvalidArgument("bisage state: node table shape mismatch");
+  }
+  if (state.trained_nodes < 0 ||
+      state.trained_nodes > state.h_table.rows()) {
+    return Status::InvalidArgument("bisage state: trained_nodes out of range");
+  }
+  h_table_ = std::move(state.h_table);
+  l_table_ = std::move(state.l_table);
+  for (size_t k = 0; k < w_h_.size(); ++k) {
+    w_h_[k]->value = std::move(state.w_h[k]);
+    w_h_[k]->ZeroGrad();
+    w_l_[k]->value = std::move(state.w_l[k]);
+    w_l_[k]->ZeroGrad();
+  }
+  init_rng_.RestoreState(state.init_rng);
+  trained_nodes_ = state.trained_nodes;
+  last_epoch_loss_ = state.last_epoch_loss;
+  trained_ = true;
+  return Status::Ok();
+}
+
 BiSageEmbedder::BiSageEmbedder(BiSageConfig config,
                                graph::EdgeWeightConfig weight_config)
     : graph_(weight_config), model_(std::move(config)) {}
@@ -393,6 +445,26 @@ Status BiSageEmbedder::Fit(const std::vector<rf::ScanRecord>& train) {
 math::Vec BiSageEmbedder::TrainEmbedding(int i) const {
   GEM_CHECK(i >= 0 && i < num_train_);
   return model_.PrimaryEmbedding(graph_, train_nodes_[i]);
+}
+
+Status BiSageEmbedder::RestoreFitted(graph::BipartiteGraph graph,
+                                     std::vector<graph::NodeId> train_nodes,
+                                     BiSage::TrainedState model_state) {
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("embedder state: no training nodes");
+  }
+  for (const graph::NodeId node : train_nodes) {
+    if (node < 0 || node >= graph.num_nodes() ||
+        graph.type(node) != graph::NodeType::kRecord) {
+      return Status::InvalidArgument("embedder state: bad training node id");
+    }
+  }
+  const Status status = model_.RestoreTrained(std::move(model_state));
+  if (!status.ok()) return status;
+  graph_ = std::move(graph);
+  num_train_ = static_cast<int>(train_nodes.size());
+  train_nodes_ = std::move(train_nodes);
+  return Status::Ok();
 }
 
 std::optional<math::Vec> BiSageEmbedder::EmbedNew(

@@ -89,6 +89,25 @@ class BiSage {
   const BiSageConfig& config() const { return config_; }
   bool trained() const { return trained_; }
 
+  /// Snapshot support (serve/snapshot.cc): everything Train() learned
+  /// plus the lazily-grown node tables and their init stream, so a
+  /// restored model embeds future nodes bit-identically to the
+  /// original process. Optimizer moments are NOT persisted: a
+  /// fine-tuning Train() after restore starts Adam fresh.
+  struct TrainedState {
+    math::Matrix h_table;
+    math::Matrix l_table;
+    std::vector<math::Matrix> w_h;
+    std::vector<math::Matrix> w_l;
+    math::Rng::State init_rng;
+    int trained_nodes = 0;
+    double last_epoch_loss = 0.0;
+  };
+  TrainedState ExportTrained() const;
+  /// Overwrites the learned state; shapes must match this model's
+  /// config (dimension d, per-layer d x 2d weights).
+  Status RestoreTrained(TrainedState state);
+
  private:
   struct NodeVars {
     math::VarId h;
@@ -150,6 +169,16 @@ class BiSageEmbedder : public RecordEmbedder {
 
   const graph::BipartiteGraph& graph() const { return graph_; }
   BiSage& model() { return model_; }
+  const BiSage& model() const { return model_; }
+  const std::vector<graph::NodeId>& train_nodes() const {
+    return train_nodes_;
+  }
+
+  /// Snapshot support (serve/snapshot.cc): swaps in a persisted graph,
+  /// training-node list, and trained model state.
+  Status RestoreFitted(graph::BipartiteGraph graph,
+                       std::vector<graph::NodeId> train_nodes,
+                       BiSage::TrainedState model_state);
 
  private:
   graph::BipartiteGraph graph_;

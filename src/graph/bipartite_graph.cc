@@ -42,6 +42,59 @@ NodeId BipartiteGraph::AddRecord(const rf::ScanRecord& record) {
   return record_id;
 }
 
+Result<BipartiteGraph> BipartiteGraph::FromParts(
+    EdgeWeightConfig weight_config, std::vector<NodeType> types,
+    std::vector<std::vector<Neighbor>> adjacency,
+    std::vector<std::pair<std::string, NodeId>> macs) {
+  const int n = static_cast<int>(types.size());
+  if (adjacency.size() != types.size()) {
+    return Status::InvalidArgument("graph state: adjacency/type size mismatch");
+  }
+  int num_macs = 0;
+  for (const NodeType type : types) {
+    if (type != NodeType::kRecord && type != NodeType::kMac) {
+      return Status::InvalidArgument("graph state: unknown node type");
+    }
+    if (type == NodeType::kMac) ++num_macs;
+  }
+  for (const auto& neighbors : adjacency) {
+    for (const Neighbor& nb : neighbors) {
+      if (nb.node < 0 || nb.node >= n) {
+        return Status::InvalidArgument("graph state: neighbor id out of range");
+      }
+      if (!(nb.weight > 0.0) || !std::isfinite(nb.weight)) {
+        return Status::InvalidArgument("graph state: non-positive edge weight");
+      }
+    }
+  }
+  if (static_cast<int>(macs.size()) != num_macs) {
+    return Status::InvalidArgument("graph state: mac index size mismatch");
+  }
+  BipartiteGraph graph(weight_config);
+  for (const auto& [mac, id] : macs) {
+    if (id < 0 || id >= n || types[id] != NodeType::kMac) {
+      return Status::InvalidArgument("graph state: mac index id invalid");
+    }
+    if (!graph.mac_index_.emplace(mac, id).second) {
+      return Status::InvalidArgument("graph state: duplicate mac string");
+    }
+  }
+  graph.types_ = std::move(types);
+  graph.adjacency_ = std::move(adjacency);
+  graph.num_records_ = n - num_macs;
+  graph.num_macs_ = num_macs;
+  graph.samplers_.resize(graph.adjacency_.size());
+  // Recompute weight sums in adjacency order — the same accumulation
+  // order AddRecord used, so the doubles match bit for bit.
+  graph.weight_sums_.assign(graph.adjacency_.size(), 0.0);
+  for (size_t i = 0; i < graph.adjacency_.size(); ++i) {
+    for (const Neighbor& nb : graph.adjacency_[i]) {
+      graph.weight_sums_[i] += nb.weight;
+    }
+  }
+  return graph;
+}
+
 NodeType BipartiteGraph::type(NodeId id) const {
   GEM_CHECK(id >= 0 && id < num_nodes());
   return types_[id];

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/status.h"
 #include "graph/edge_weight.h"
 #include "math/alias_sampler.h"
 #include "math/rng.h"
@@ -77,6 +78,21 @@ class BipartiteGraph {
   NodeId SampleNegative(math::Rng& rng) const;
 
   const EdgeWeightConfig& weight_config() const { return weight_config_; }
+
+  /// MAC string -> NodeId index (snapshot support; iteration order is
+  /// unspecified and must not influence behavior).
+  const std::unordered_map<std::string, NodeId>& mac_index() const {
+    return mac_index_;
+  }
+
+  /// Rebuilds a graph from persisted structure (serve/snapshot.cc).
+  /// `types` and `adjacency` are per-node and must be consistent with
+  /// the (mac string, node id) list; weight sums and samplers are
+  /// rederived. Returns InvalidArgument on any inconsistency.
+  static Result<BipartiteGraph> FromParts(
+      EdgeWeightConfig weight_config, std::vector<NodeType> types,
+      std::vector<std::vector<Neighbor>> adjacency,
+      std::vector<std::pair<std::string, NodeId>> macs);
 
  private:
   void InvalidateCaches(NodeId id);

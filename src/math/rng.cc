@@ -78,4 +78,18 @@ bool Rng::Bernoulli(double p) { return UniformUnit() < p; }
 
 Rng Rng::Split() { return Rng(Next()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace gem::math

@@ -51,6 +51,16 @@ class Rng {
   /// simulated user / repeat its own deterministic stream).
   Rng Split();
 
+  /// Complete generator state, exposed so model snapshots can persist
+  /// mid-stream generators and resume them bit-identically.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t state_[4];
   double cached_normal_ = 0.0;

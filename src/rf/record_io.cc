@@ -28,21 +28,56 @@ Status SaveRecordsCsv(const std::string& path,
   return Status::Ok();
 }
 
+namespace {
+
+/// Strips the trailing '\r' of CRLF files (scan logs exported from
+/// Windows tools are common in practice).
+void StripCr(std::string& s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+}
+
+/// Full-string numeric parses: trailing garbage ("12abc", "-50dBm") is
+/// a malformed row, not a silently truncated value.
+bool ParseLong(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 Result<std::vector<ScanRecord>> LoadRecordsCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
     return Status::NotFound("cannot open " + path);
   }
   std::vector<ScanRecord> records;
-  long current_id = -1;
+  // record_id -> index in `records`: rows sharing an id group into one
+  // record even when another id's rows interleave (multi-device logs
+  // merged by timestamp do this); first-seen order is kept.
+  std::map<long, size_t> index_by_id;
   std::string line;
-  bool first = true;
+  bool saw_header = false;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    StripCr(line);
     if (line.empty()) continue;
-    if (first) {  // header
-      first = false;
+    if (!saw_header) {
+      saw_header = true;
       continue;
     }
     std::istringstream row(line);
@@ -51,31 +86,58 @@ Result<std::vector<ScanRecord>> LoadRecordsCsv(const std::string& path) {
         !std::getline(row, inside_s, ',') || !std::getline(row, mac, ',') ||
         !std::getline(row, rss_s, ',') || !std::getline(row, band_s)) {
       return Status::InvalidArgument("malformed row at line " +
+                                     std::to_string(line_no) + " of " + path);
+    }
+    long id = 0;
+    if (!ParseLong(id_s, &id)) {
+      return Status::InvalidArgument("bad record_id '" + id_s + "' at line " +
                                      std::to_string(line_no));
     }
-    char* end = nullptr;
-    const long id = std::strtol(id_s.c_str(), &end, 10);
-    if (end == id_s.c_str()) {
-      return Status::InvalidArgument("bad record_id at line " +
+    double ts = 0.0;
+    if (!ParseDouble(ts_s, &ts)) {
+      return Status::InvalidArgument("bad timestamp_s '" + ts_s +
+                                     "' at line " + std::to_string(line_no));
+    }
+    if (inside_s != "0" && inside_s != "1") {
+      return Status::InvalidArgument("bad inside flag '" + inside_s +
+                                     "' (want 0 or 1) at line " +
                                      std::to_string(line_no));
     }
-    const double ts = std::strtod(ts_s.c_str(), &end);
-    const double rss = std::strtod(rss_s.c_str(), &end);
-    if (end == rss_s.c_str()) {
-      return Status::InvalidArgument("bad rss at line " +
+    if (mac.empty()) {
+      return Status::InvalidArgument("empty mac at line " +
                                      std::to_string(line_no));
     }
-    if (id != current_id) {
+    double rss = 0.0;
+    if (!ParseDouble(rss_s, &rss)) {
+      return Status::InvalidArgument("bad rss '" + rss_s + "' at line " +
+                                     std::to_string(line_no));
+    }
+    Band band;
+    if (band_s == "5") {
+      band = Band::k5GHz;
+    } else if (band_s == "2.4") {
+      band = Band::k2_4GHz;
+    } else {
+      return Status::InvalidArgument("unknown band '" + band_s +
+                                     "' (want 2.4 or 5) at line " +
+                                     std::to_string(line_no));
+    }
+
+    const auto [it, inserted] =
+        index_by_id.emplace(id, records.size());
+    if (inserted) {
       records.emplace_back();
       records.back().timestamp_s = ts;
       records.back().inside = inside_s == "1";
-      current_id = id;
     }
     Reading reading;
-    reading.mac = mac;
+    reading.mac = std::move(mac);
     reading.rss_dbm = rss;
-    reading.band = band_s.rfind('5', 0) == 0 ? Band::k5GHz : Band::k2_4GHz;
-    records.back().readings.push_back(std::move(reading));
+    reading.band = band;
+    records[it->second].readings.push_back(std::move(reading));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(path + ": empty file (missing header)");
   }
   return records;
 }

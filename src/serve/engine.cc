@@ -1,0 +1,174 @@
+#include "serve/engine.h"
+
+#include <future>
+#include <utility>
+
+#include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gem::serve {
+namespace {
+
+struct EngineMetrics {
+  obs::Gauge& queue_depth;
+  obs::Counter& admitted;
+  obs::Counter& rejected_full;
+  obs::Counter& rejected_shutdown;
+  obs::Counter& fence_not_found;
+  obs::Counter& absorbed;
+  obs::Histogram& queue_wait_seconds;
+  obs::Histogram& infer_seconds;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics metrics{
+        obs::MetricsRegistry::Get().GetGauge("gem_serve_queue_depth"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "gem_serve_requests_total", {{"outcome", "admitted"}}),
+        obs::MetricsRegistry::Get().GetCounter(
+            "gem_serve_requests_total", {{"outcome", "rejected_queue_full"}}),
+        obs::MetricsRegistry::Get().GetCounter(
+            "gem_serve_requests_total", {{"outcome", "rejected_shutdown"}}),
+        obs::MetricsRegistry::Get().GetCounter(
+            "gem_serve_responses_total", {{"result", "fence_not_found"}}),
+        obs::MetricsRegistry::Get().GetCounter("gem_serve_absorbed_total"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "gem_serve_queue_wait_seconds", obs::LatencyBuckets()),
+        obs::MetricsRegistry::Get().GetHistogram("gem_serve_infer_seconds",
+                                                 obs::LatencyBuckets()),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(FenceRegistry* registry, EngineOptions options)
+    : registry_(registry), options_(options) {
+  GEM_CHECK(registry_ != nullptr);
+  GEM_CHECK(options_.num_threads >= 1);
+  GEM_CHECK(options_.max_queue_depth >= 1);
+  EngineMetrics::Get();  // resolve metric handles off the hot path
+  workers_.reserve(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() { Shutdown(); }
+
+Status Engine::Submit(ServeRequest request, Callback done) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  {
+    std::lock_guard lock(mutex_);
+    if (shutting_down_) {
+      metrics.rejected_shutdown.Increment();
+      return Status::FailedPrecondition("engine is shut down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      metrics.rejected_full.Increment();
+      return Status::Unavailable("request queue is full (" +
+                                 std::to_string(options_.max_queue_depth) +
+                                 " pending)");
+    }
+    queue_.push_back(Job{std::move(request), std::move(done),
+                         std::chrono::steady_clock::now()});
+    metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+  metrics.admitted.Increment();
+  work_available_.notify_one();
+  return Status::Ok();
+}
+
+ServeResponse Engine::InferBlocking(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  const Status submitted = Submit(
+      std::move(request),
+      [&promise](ServeResponse response) {
+        promise.set_value(std::move(response));
+      });
+  if (!submitted.ok()) {
+    ServeResponse response;
+    response.status = submitted;
+    return response;
+  }
+  return future.get();
+}
+
+void Engine::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+    to_join.swap(workers_);  // claimed by exactly one Shutdown caller
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : to_join) worker.join();
+}
+
+size_t Engine::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void Engine::WorkerLoop() {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    metrics.queue_wait_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.enqueued_at)
+            .count());
+    ServeResponse response = Process(job.request);
+    if (job.done) job.done(std::move(response));
+  }
+}
+
+ServeResponse Engine::Process(const ServeRequest& request) {
+  GEM_TRACE_SPAN("serve.request");
+  EngineMetrics& metrics = EngineMetrics::Get();
+  ServeResponse response;
+
+  std::shared_ptr<Fence> fence;
+  {
+    GEM_TRACE_SPAN("serve.lookup");
+    fence = registry_->Find(request.fence_id);
+  }
+  if (!fence) {
+    metrics.fence_not_found.Increment();
+    response.status =
+        Status::NotFound("fence '" + request.fence_id + "' is not loaded");
+    return response;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    // Fence-serialized section: Infer embeds (growing the graph),
+    // detects, and — when confidently inside — absorbs the embedding
+    // into the detector (Section V-B self-enhancement). The fence
+    // mutex is what keeps racing updates to one tenant's model sound
+    // while other tenants proceed in parallel.
+    GEM_TRACE_SPAN("serve.infer");
+    std::lock_guard model_lock(fence->mutex);
+    response.result = fence->gem.Infer(request.record);
+  }
+  metrics.infer_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (response.result.model_updated) metrics.absorbed.Increment();
+  response.status = Status::Ok();
+  response.fence_generation = fence->generation;
+  return response;
+}
+
+}  // namespace gem::serve

@@ -1,0 +1,107 @@
+#ifndef GEM_SERVE_ENGINE_H_
+#define GEM_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "core/geofence.h"
+#include "rf/types.h"
+#include "serve/fence_registry.h"
+
+namespace gem::serve {
+
+struct EngineOptions {
+  /// Fixed worker-pool size.
+  int num_threads = 4;
+  /// Bounded request queue; a Submit against a full queue is rejected
+  /// immediately with kUnavailable (backpressure — the caller sheds or
+  /// retries, the server never buffers unboundedly).
+  size_t max_queue_depth = 256;
+};
+
+/// One in-out query against a loaded fence.
+struct ServeRequest {
+  std::string fence_id;
+  rf::ScanRecord record;
+};
+
+struct ServeResponse {
+  /// kOk with `result` filled, kNotFound (fence not loaded), or
+  /// kUnavailable (shut down while queued).
+  Status status;
+  core::InferenceResult result;
+  /// Registry generation of the model that served the request (0 when
+  /// status is not OK) — lets callers observe live reloads.
+  uint64_t fence_generation = 0;
+};
+
+/// Multi-tenant serving engine: a fixed thread pool draining a bounded
+/// request queue against a FenceRegistry.
+///
+/// Threading model (see DESIGN.md "Serving"):
+///  - Registry lookups are sharded-shared-lock reads — concurrent.
+///  - Per fence, model access is serialized under Fence::mutex, because
+///    Gem::Infer both grows the graph and (self-enhancement) updates
+///    the detector. Requests for DIFFERENT fences run fully in
+///    parallel across the pool.
+///  - Backpressure triggers at Submit time when the queue is full.
+/// Fully instrumented via gem::obs: queue-depth gauge, admitted /
+/// rejected / absorbed counters, queue-wait and per-stage latency
+/// histograms.
+class Engine {
+ public:
+  using Callback = std::function<void(ServeResponse)>;
+
+  explicit Engine(FenceRegistry* registry, EngineOptions options = {});
+  /// Drains the queue and joins the workers.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues the request; `done` runs on a worker thread. Returns
+  /// kUnavailable when the queue is full and kFailedPrecondition after
+  /// Shutdown; `done` is NOT invoked when Submit fails.
+  Status Submit(ServeRequest request, Callback done);
+
+  /// Submit + block for the response (CLI / test convenience).
+  ServeResponse InferBlocking(ServeRequest request);
+
+  /// Stops intake, drains already-admitted requests, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t queue_depth() const;
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    ServeRequest request;
+    Callback done;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  ServeResponse Process(const ServeRequest& request);
+
+  FenceRegistry* const registry_;
+  const EngineOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Job> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gem::serve
+
+#endif  // GEM_SERVE_ENGINE_H_

@@ -1,0 +1,79 @@
+#ifndef GEM_SERVE_FENCE_REGISTRY_H_
+#define GEM_SERVE_FENCE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "core/gem.h"
+
+namespace gem::serve {
+
+/// One loaded fence: a tenant's trained model plus the mutex that
+/// serializes access to it. core::Gem::Infer mutates shared state on
+/// every call — the bipartite graph grows inductively and the detector
+/// may absorb the embedding — so ALL model calls must hold `mutex`;
+/// concurrency in the serving engine comes from running many fences in
+/// parallel, not from sharing one.
+struct Fence {
+  Fence(std::string id_in, uint64_t generation_in, core::Gem gem_in)
+      : id(std::move(id_in)),
+        generation(generation_in),
+        gem(std::move(gem_in)) {}
+
+  const std::string id;
+  /// Bumped each time the fence id is (re)installed; lets callers
+  /// observe that a live reload swapped the model under them.
+  const uint64_t generation;
+  std::mutex mutex;
+  core::Gem gem;
+};
+
+/// Sharded fence-id -> model registry. Lookups take a shard-local
+/// shared lock (concurrent readers never contend across shards);
+/// install/unload take the shard's exclusive lock. Entries are handed
+/// out as shared_ptr so an in-flight request keeps serving against the
+/// model it resolved even while a reload replaces or removes it — a
+/// live reload never blocks on draining traffic.
+class FenceRegistry {
+ public:
+  explicit FenceRegistry(int num_shards = 16);
+
+  /// Inserts or replaces (live reload) the fence. The model must be
+  /// trained. Returns the installed generation (1 for a first install).
+  Result<uint64_t> Install(const std::string& fence_id, core::Gem gem);
+
+  /// Loads a snapshot file and installs it under `fence_id`.
+  Result<uint64_t> InstallFromSnapshot(const std::string& fence_id,
+                                       const std::string& path);
+
+  /// Removes the fence; in-flight holders finish undisturbed.
+  Status Unload(const std::string& fence_id);
+
+  /// nullptr when the fence is not loaded.
+  std::shared_ptr<Fence> Find(const std::string& fence_id) const;
+
+  /// Sorted ids of all loaded fences.
+  std::vector<std::string> FenceIds() const;
+
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<Fence>> fences;
+  };
+
+  Shard& ShardFor(const std::string& fence_id) const;
+
+  /// Fixed at construction; never resized (Shard is not movable).
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace gem::serve
+
+#endif  // GEM_SERVE_FENCE_REGISTRY_H_

@@ -1,0 +1,535 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace gem::serve {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'M', 'S', 'N', 'A', 'P', '\0'};
+
+enum SectionTag : uint32_t {
+  kConfigTag = 1,
+  kGraphTag = 2,
+  kEmbedderTag = 3,
+  kDetectorTag = 4,
+};
+
+void PutRngState(WireWriter& w, const math::Rng::State& state) {
+  for (const uint64_t word : state.words) w.PutU64(word);
+  w.PutF64(state.cached_normal);
+  w.PutU8(state.has_cached_normal ? 1 : 0);
+}
+
+Status GetRngState(WireReader& r, math::Rng::State* out) {
+  for (uint64_t& word : out->words) {
+    Status status = r.GetU64(&word);
+    if (!status.ok()) return status;
+  }
+  Status status = r.GetF64(&out->cached_normal);
+  if (!status.ok()) return status;
+  uint8_t flag;
+  status = r.GetU8(&flag);
+  if (!status.ok()) return status;
+  out->has_cached_normal = flag != 0;
+  return Status::Ok();
+}
+
+void PutIntVec(WireWriter& w, const std::vector<int>& v) {
+  w.PutU64(v.size());
+  for (const int x : v) w.PutI32(x);
+}
+
+Status GetIntVec(WireReader& r, std::vector<int>* out) {
+  uint64_t n;
+  Status status = r.GetU64(&n);
+  if (!status.ok()) return status;
+  if (n > r.remaining() / 4) {
+    return Status::DataLoss("int vector length exceeds payload");
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t x;
+    status = r.GetI32(&x);
+    if (!status.ok()) return status;
+    out->push_back(x);
+  }
+  return Status::Ok();
+}
+
+// --- Config section -------------------------------------------------
+
+std::string EncodeConfig(const core::GemConfig& config) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(config.edge_weight.kind));
+  w.PutF64(config.edge_weight.offset_c);
+  w.PutF64(config.edge_weight.exp_scale);
+
+  const embed::BiSageConfig& b = config.bisage;
+  w.PutI32(b.dimension);
+  w.PutI32(b.num_layers);
+  PutIntVec(w, b.fanouts);
+  w.PutI32(b.walks_per_node);
+  w.PutI32(b.walk_length);
+  w.PutI32(b.epochs);
+  w.PutI32(b.num_negatives);
+  w.PutF64(b.learning_rate);
+  w.PutI32(b.batch_pairs);
+  PutIntVec(w, b.inference_fanouts);
+  w.PutU8(b.use_edge_weights ? 1 : 0);
+  w.PutI32(b.min_mac_degree);
+  w.PutU64(b.seed);
+
+  const detect::EnhancedHbosOptions& d = config.detector;
+  w.PutI32(d.bins);
+  w.PutF64(d.temperature);
+  w.PutF64(d.tau_upper);
+  w.PutF64(d.tau_lower);
+  w.PutU8(d.auto_calibrate ? 1 : 0);
+  w.PutI32(d.calibration_folds);
+  w.PutF64(d.calibration_upper_percentile);
+  w.PutF64(d.calibration_spread_factor);
+  w.PutF64(d.calibration_lower_percentile);
+  w.PutI64(d.max_retained_samples);
+
+  w.PutU8(config.online_update ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Status DecodeConfig(std::string_view payload, core::GemConfig* out) {
+  WireReader r(payload);
+  uint32_t kind;
+  uint8_t flag;
+  Status status = r.GetU32(&kind);
+  if (!status.ok()) return status;
+  if (kind > static_cast<uint32_t>(graph::WeightKind::kSquaredOffset)) {
+    return Status::InvalidArgument("config: unknown edge-weight kind");
+  }
+  out->edge_weight.kind = static_cast<graph::WeightKind>(kind);
+  if (!(status = r.GetF64(&out->edge_weight.offset_c)).ok()) return status;
+  if (!(status = r.GetF64(&out->edge_weight.exp_scale)).ok()) return status;
+
+  embed::BiSageConfig& b = out->bisage;
+  if (!(status = r.GetI32(&b.dimension)).ok()) return status;
+  if (!(status = r.GetI32(&b.num_layers)).ok()) return status;
+  if (!(status = GetIntVec(r, &b.fanouts)).ok()) return status;
+  if (!(status = r.GetI32(&b.walks_per_node)).ok()) return status;
+  if (!(status = r.GetI32(&b.walk_length)).ok()) return status;
+  if (!(status = r.GetI32(&b.epochs)).ok()) return status;
+  if (!(status = r.GetI32(&b.num_negatives)).ok()) return status;
+  if (!(status = r.GetF64(&b.learning_rate)).ok()) return status;
+  if (!(status = r.GetI32(&b.batch_pairs)).ok()) return status;
+  if (!(status = GetIntVec(r, &b.inference_fanouts)).ok()) return status;
+  if (!(status = r.GetU8(&flag)).ok()) return status;
+  b.use_edge_weights = flag != 0;
+  if (!(status = r.GetI32(&b.min_mac_degree)).ok()) return status;
+  if (!(status = r.GetU64(&b.seed)).ok()) return status;
+  // The BiSage constructor enforces these with GEM_CHECK (programmer
+  // error); from persisted bytes they must fail soft instead.
+  if (b.dimension < 1 || b.dimension > 65536) {
+    return Status::InvalidArgument("config: implausible embedding dimension");
+  }
+  if (b.num_layers < 1 || b.num_layers > 64 ||
+      static_cast<int>(b.fanouts.size()) != b.num_layers ||
+      (!b.inference_fanouts.empty() &&
+       static_cast<int>(b.inference_fanouts.size()) != b.num_layers)) {
+    return Status::InvalidArgument("config: inconsistent layer layout");
+  }
+
+  detect::EnhancedHbosOptions& d = out->detector;
+  if (!(status = r.GetI32(&d.bins)).ok()) return status;
+  if (!(status = r.GetF64(&d.temperature)).ok()) return status;
+  if (!(status = r.GetF64(&d.tau_upper)).ok()) return status;
+  if (!(status = r.GetF64(&d.tau_lower)).ok()) return status;
+  if (!(status = r.GetU8(&flag)).ok()) return status;
+  d.auto_calibrate = flag != 0;
+  if (!(status = r.GetI32(&d.calibration_folds)).ok()) return status;
+  if (!(status = r.GetF64(&d.calibration_upper_percentile)).ok()) {
+    return status;
+  }
+  if (!(status = r.GetF64(&d.calibration_spread_factor)).ok()) return status;
+  if (!(status = r.GetF64(&d.calibration_lower_percentile)).ok()) {
+    return status;
+  }
+  int64_t max_retained;
+  if (!(status = r.GetI64(&max_retained)).ok()) return status;
+  d.max_retained_samples = static_cast<long>(max_retained);
+
+  if (!(status = r.GetU8(&flag)).ok()) return status;
+  out->online_update = flag != 0;
+  return Status::Ok();
+}
+
+// --- Graph section --------------------------------------------------
+
+std::string EncodeGraph(const graph::BipartiteGraph& g) {
+  WireWriter w;
+  const int n = g.num_nodes();
+  w.PutU32(static_cast<uint32_t>(n));
+  for (graph::NodeId id = 0; id < n; ++id) {
+    w.PutU8(g.type(id) == graph::NodeType::kMac ? 1 : 0);
+  }
+  for (graph::NodeId id = 0; id < n; ++id) {
+    const auto& neighbors = g.neighbors(id);
+    w.PutU64(neighbors.size());
+    for (const graph::Neighbor& nb : neighbors) {
+      w.PutU32(static_cast<uint32_t>(nb.node));
+      w.PutF64(nb.weight);
+    }
+  }
+  // Canonical order (by node id) so identical models always encode to
+  // identical bytes — unordered_map iteration order is not stable
+  // across rebuilds of the index.
+  std::vector<std::pair<graph::NodeId, std::string>> macs;
+  macs.reserve(g.mac_index().size());
+  for (const auto& [mac, id] : g.mac_index()) macs.emplace_back(id, mac);
+  std::sort(macs.begin(), macs.end());
+  w.PutU64(macs.size());
+  for (const auto& [id, mac] : macs) {
+    w.PutString(mac);
+    w.PutU32(static_cast<uint32_t>(id));
+  }
+  return w.TakeBytes();
+}
+
+Status DecodeGraph(std::string_view payload,
+                   const graph::EdgeWeightConfig& weight_config,
+                   Result<graph::BipartiteGraph>* out) {
+  WireReader r(payload);
+  uint32_t n;
+  Status status = r.GetU32(&n);
+  if (!status.ok()) return status;
+  if (n > r.remaining()) {
+    return Status::DataLoss("graph: node count exceeds payload");
+  }
+  std::vector<graph::NodeType> types;
+  types.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t t;
+    if (!(status = r.GetU8(&t)).ok()) return status;
+    if (t > 1) return Status::InvalidArgument("graph: unknown node type");
+    types.push_back(t == 1 ? graph::NodeType::kMac
+                           : graph::NodeType::kRecord);
+  }
+  std::vector<std::vector<graph::Neighbor>> adjacency(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t degree;
+    if (!(status = r.GetU64(&degree)).ok()) return status;
+    if (degree > r.remaining() / 12) {
+      return Status::DataLoss("graph: degree exceeds payload");
+    }
+    adjacency[i].reserve(degree);
+    for (uint64_t e = 0; e < degree; ++e) {
+      uint32_t node;
+      double weight;
+      if (!(status = r.GetU32(&node)).ok()) return status;
+      if (!(status = r.GetF64(&weight)).ok()) return status;
+      adjacency[i].push_back(
+          graph::Neighbor{static_cast<graph::NodeId>(node), weight});
+    }
+  }
+  uint64_t num_macs;
+  if (!(status = r.GetU64(&num_macs)).ok()) return status;
+  if (num_macs > r.remaining() / 12) {
+    return Status::DataLoss("graph: mac count exceeds payload");
+  }
+  std::vector<std::pair<std::string, graph::NodeId>> macs;
+  macs.reserve(num_macs);
+  for (uint64_t i = 0; i < num_macs; ++i) {
+    std::string mac;
+    uint32_t id;
+    if (!(status = r.GetString(&mac)).ok()) return status;
+    if (!(status = r.GetU32(&id)).ok()) return status;
+    macs.emplace_back(std::move(mac), static_cast<graph::NodeId>(id));
+  }
+  *out = graph::BipartiteGraph::FromParts(weight_config, std::move(types),
+                                          std::move(adjacency),
+                                          std::move(macs));
+  return Status::Ok();
+}
+
+// --- Embedder section -----------------------------------------------
+
+std::string EncodeEmbedder(const embed::BiSageEmbedder& embedder) {
+  WireWriter w;
+  PutIntVec(w, embedder.train_nodes());
+  const embed::BiSage::TrainedState state = embedder.model().ExportTrained();
+  w.PutMatrix(state.h_table);
+  w.PutMatrix(state.l_table);
+  w.PutU32(static_cast<uint32_t>(state.w_h.size()));
+  for (const math::Matrix& m : state.w_h) w.PutMatrix(m);
+  for (const math::Matrix& m : state.w_l) w.PutMatrix(m);
+  PutRngState(w, state.init_rng);
+  w.PutI32(state.trained_nodes);
+  w.PutF64(state.last_epoch_loss);
+  return w.TakeBytes();
+}
+
+Status DecodeEmbedder(std::string_view payload,
+                      std::vector<graph::NodeId>* train_nodes,
+                      embed::BiSage::TrainedState* state) {
+  WireReader r(payload);
+  Status status = GetIntVec(r, train_nodes);
+  if (!status.ok()) return status;
+  if (!(status = r.GetMatrix(&state->h_table)).ok()) return status;
+  if (!(status = r.GetMatrix(&state->l_table)).ok()) return status;
+  uint32_t layers;
+  if (!(status = r.GetU32(&layers)).ok()) return status;
+  if (layers > 64) {
+    return Status::InvalidArgument("embedder: implausible layer count");
+  }
+  state->w_h.resize(layers);
+  state->w_l.resize(layers);
+  for (math::Matrix& m : state->w_h) {
+    if (!(status = r.GetMatrix(&m)).ok()) return status;
+  }
+  for (math::Matrix& m : state->w_l) {
+    if (!(status = r.GetMatrix(&m)).ok()) return status;
+  }
+  if (!(status = GetRngState(r, &state->init_rng)).ok()) return status;
+  if (!(status = r.GetI32(&state->trained_nodes)).ok()) return status;
+  if (!(status = r.GetF64(&state->last_epoch_loss)).ok()) return status;
+  return Status::Ok();
+}
+
+// --- Detector section -----------------------------------------------
+
+std::string EncodeDetector(const detect::EnhancedHbosDetector& detector) {
+  WireWriter w;
+  const detect::EnhancedHbosDetector::PersistedState state =
+      detector.ExportState();
+  w.PutI32(state.model.bins);
+  w.PutI64(state.model.samples);
+  w.PutI64(state.model.max_retained);
+  w.PutVec(state.model.lo);
+  w.PutVec(state.model.hi);
+  w.PutMatrix(state.model.counts);
+  w.PutU64(state.model.data.size());
+  for (const math::Vec& row : state.model.data) w.PutVec(row);
+  PutRngState(w, state.model.reservoir_rng);
+  w.PutF64(state.score_lo);
+  w.PutF64(state.score_hi);
+  w.PutF64(state.threshold);
+  w.PutF64(state.hbar_tau_upper);
+  w.PutF64(state.hbar_tau_lower);
+  return w.TakeBytes();
+}
+
+Status DecodeDetector(std::string_view payload,
+                      detect::EnhancedHbosDetector::PersistedState* state) {
+  WireReader r(payload);
+  int32_t bins;
+  int64_t samples;
+  int64_t max_retained;
+  Status status = r.GetI32(&bins);
+  if (!status.ok()) return status;
+  if (!(status = r.GetI64(&samples)).ok()) return status;
+  if (!(status = r.GetI64(&max_retained)).ok()) return status;
+  state->model.bins = bins;
+  state->model.samples = static_cast<long>(samples);
+  state->model.max_retained = static_cast<long>(max_retained);
+  if (!(status = r.GetVec(&state->model.lo)).ok()) return status;
+  if (!(status = r.GetVec(&state->model.hi)).ok()) return status;
+  if (!(status = r.GetMatrix(&state->model.counts)).ok()) return status;
+  uint64_t rows;
+  if (!(status = r.GetU64(&rows)).ok()) return status;
+  if (rows > r.remaining() / 8) {
+    return Status::DataLoss("detector: retained-sample count exceeds payload");
+  }
+  state->model.data.resize(rows);
+  for (math::Vec& row : state->model.data) {
+    if (!(status = r.GetVec(&row)).ok()) return status;
+  }
+  if (!(status = GetRngState(r, &state->model.reservoir_rng)).ok()) {
+    return status;
+  }
+  if (!(status = r.GetF64(&state->score_lo)).ok()) return status;
+  if (!(status = r.GetF64(&state->score_hi)).ok()) return status;
+  if (!(status = r.GetF64(&state->threshold)).ok()) return status;
+  if (!(status = r.GetF64(&state->hbar_tau_upper)).ok()) return status;
+  if (!(status = r.GetF64(&state->hbar_tau_lower)).ok()) return status;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const std::string& path, const core::Gem& gem) {
+  if (!gem.trained()) {
+    return Status::FailedPrecondition("cannot snapshot an untrained model");
+  }
+  const std::vector<std::pair<uint32_t, std::string>> sections = {
+      {kConfigTag, EncodeConfig(gem.config())},
+      {kGraphTag, EncodeGraph(gem.embedder().graph())},
+      {kEmbedderTag, EncodeEmbedder(gem.embedder())},
+      {kDetectorTag, EncodeDetector(gem.detector())},
+  };
+
+  std::string bytes(kMagic, sizeof(kMagic));
+  {
+    WireWriter header;
+    header.PutU32(kSnapshotFormatVersion);
+    header.PutU32(static_cast<uint32_t>(sections.size()));
+    bytes += header.bytes();
+  }
+  for (const auto& [tag, payload] : sections) {
+    WireWriter frame;
+    frame.PutU32(tag);
+    frame.PutU64(payload.size());
+    bytes += frame.bytes();
+    bytes += payload;
+    WireWriter crc;
+    crc.PutU32(Crc32(payload));
+    bytes += crc.bytes();
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return Status::InvalidArgument("cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      return Status::Internal("write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Result<core::Gem> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read from " + path + " failed");
+  }
+  const std::string bytes = buffer.str();
+
+  const std::string_view view(bytes);
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss(path + ": not a GEM snapshot (bad magic)");
+  }
+  size_t pos = sizeof(kMagic);
+  const auto read_u32 = [&](uint32_t* out) {
+    WireReader r(view.substr(pos));
+    const Status status = r.GetU32(out);
+    if (status.ok()) pos += 4;
+    return status;
+  };
+  const auto read_u64 = [&](uint64_t* out) {
+    WireReader r(view.substr(pos));
+    const Status status = r.GetU64(out);
+    if (status.ok()) pos += 8;
+    return status;
+  };
+
+  uint32_t version;
+  uint32_t section_count;
+  Status status = read_u32(&version);
+  if (!status.ok()) return status;
+  if (version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        path + ": snapshot format version " + std::to_string(version) +
+        " is newer than this binary supports (" +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (version == 0) {
+    return Status::DataLoss(path + ": invalid snapshot version 0");
+  }
+  if (!(status = read_u32(&section_count)).ok()) return status;
+  if (section_count > 1024) {
+    return Status::DataLoss(path + ": implausible section count");
+  }
+
+  std::map<uint32_t, std::string_view> payloads;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t tag;
+    uint64_t size;
+    if (!(status = read_u32(&tag)).ok()) return status;
+    if (!(status = read_u64(&size)).ok()) return status;
+    if (size > bytes.size() - pos) {
+      return Status::DataLoss(path + ": truncated section payload");
+    }
+    const std::string_view payload = view.substr(pos, size);
+    pos += size;
+    uint32_t stored_crc;
+    if (!(status = read_u32(&stored_crc)).ok()) return status;
+    if (Crc32(payload) != stored_crc) {
+      return Status::DataLoss(path + ": section " + std::to_string(tag) +
+                              " checksum mismatch");
+    }
+    // Duplicate tags keep the first occurrence; unknown tags are
+    // skipped for forward compatibility within a format version.
+    payloads.emplace(tag, payload);
+  }
+  if (pos != bytes.size()) {
+    return Status::DataLoss(path + ": trailing bytes after last section");
+  }
+
+  for (const uint32_t required :
+       {kConfigTag, kGraphTag, kEmbedderTag, kDetectorTag}) {
+    if (payloads.find(required) == payloads.end()) {
+      return Status::DataLoss(path + ": missing section " +
+                              std::to_string(required));
+    }
+  }
+
+  core::GemConfig config;
+  if (!(status = DecodeConfig(payloads[kConfigTag], &config)).ok()) {
+    return status;
+  }
+
+  Result<graph::BipartiteGraph> graph = Status::Internal("unset");
+  if (!(status = DecodeGraph(payloads[kGraphTag], config.edge_weight,
+                             &graph))
+           .ok()) {
+    return status;
+  }
+  if (!graph.ok()) return graph.status();
+
+  std::vector<graph::NodeId> train_nodes;
+  embed::BiSage::TrainedState embed_state;
+  if (!(status = DecodeEmbedder(payloads[kEmbedderTag], &train_nodes,
+                                &embed_state))
+           .ok()) {
+    return status;
+  }
+
+  detect::EnhancedHbosDetector::PersistedState detect_state;
+  if (!(status = DecodeDetector(payloads[kDetectorTag], &detect_state))
+           .ok()) {
+    return status;
+  }
+
+  embed::BiSageEmbedder embedder(config.bisage, config.edge_weight);
+  status = embedder.RestoreFitted(std::move(graph).value(),
+                                  std::move(train_nodes),
+                                  std::move(embed_state));
+  if (!status.ok()) return status;
+
+  Result<detect::EnhancedHbosDetector> detector =
+      detect::EnhancedHbosDetector::FromState(config.detector,
+                                              std::move(detect_state));
+  if (!detector.ok()) return detector.status();
+
+  return core::Gem::FromParts(std::move(config), std::move(embedder),
+                              std::move(detector).value());
+}
+
+}  // namespace gem::serve

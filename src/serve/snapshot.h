@@ -1,0 +1,44 @@
+#ifndef GEM_SERVE_SNAPSHOT_H_
+#define GEM_SERVE_SNAPSHOT_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "core/gem.h"
+
+namespace gem::serve {
+
+/// Versioned, self-describing binary snapshot of a trained core::Gem:
+/// the full GemConfig, the bipartite graph, the BiSAGE node tables and
+/// layer weights (plus the init-RNG stream), and the enhanced HBOS
+/// detector's histograms / retained samples / normalization anchors /
+/// thresholds. A loaded snapshot produces bit-identical Infer() scores
+/// to the process that saved it.
+///
+/// File layout (all little-endian; see DESIGN.md "Snapshot wire
+/// format"):
+///   8-byte magic "GEMSNAP\0" | u32 format version | u32 section count
+///   then per section: u32 tag | u64 payload size | payload | u32 CRC-32
+///
+/// Versioning rules: the loader accepts versions <= its own and rejects
+/// future versions; unknown section tags are skipped (so minor additive
+/// changes need no version bump). Every payload byte is covered by the
+/// section CRC — a flipped bit anywhere yields a clean DataLoss error,
+/// never a crash or a silently different model.
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Atomically writes `gem` (which must be trained) to `path` via a
+/// temp file + rename, so a crash mid-write never leaves a torn
+/// snapshot under the final name.
+Status SaveSnapshot(const std::string& path, const core::Gem& gem);
+
+/// Loads a snapshot written by SaveSnapshot. Returns NotFound when the
+/// file is missing, DataLoss on truncation/corruption, and
+/// InvalidArgument on future versions or semantically inconsistent
+/// state; never crashes on hostile bytes.
+Result<core::Gem> LoadSnapshot(const std::string& path);
+
+}  // namespace gem::serve
+
+#endif  // GEM_SERVE_SNAPSHOT_H_

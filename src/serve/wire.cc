@@ -1,0 +1,209 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace gem::serve {
+namespace {
+
+/// Sanity cap on decoded container lengths: no legitimate snapshot
+/// section holds more elements than it has payload bytes, so a
+/// bit-flipped length field fails fast instead of driving a huge
+/// allocation.
+Status CheckedLength(uint64_t n, size_t remaining, size_t element_bytes,
+                     uint64_t* out) {
+  if (element_bytes > 0 && n > remaining / element_bytes) {
+    return Status::DataLoss("wire: declared length exceeds payload");
+  }
+  *out = n;
+  return Status::Ok();
+}
+
+uint64_t F64Bits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsF64(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::PutF64(double v) { PutU64(F64Bits(v)); }
+
+void WireWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  bytes_.append(s.data(), s.size());
+}
+
+void WireWriter::PutVec(const math::Vec& v) {
+  PutU64(v.size());
+  for (const double x : v) PutF64(x);
+}
+
+void WireWriter::PutMatrix(const math::Matrix& m) {
+  PutU32(static_cast<uint32_t>(m.rows()));
+  PutU32(static_cast<uint32_t>(m.cols()));
+  for (const double x : m.data()) PutF64(x);
+}
+
+Status WireReader::Need(size_t n) {
+  if (bytes_.size() - pos_ < n) {
+    return Status::DataLoss("wire: truncated (need " + std::to_string(n) +
+                            " bytes, have " +
+                            std::to_string(bytes_.size() - pos_) + ")");
+  }
+  return Status::Ok();
+}
+
+Status WireReader::GetU8(uint8_t* out) {
+  Status status = Need(1);
+  if (!status.ok()) return status;
+  *out = static_cast<uint8_t>(bytes_[pos_++]);
+  return Status::Ok();
+}
+
+Status WireReader::GetU32(uint32_t* out) {
+  Status status = Need(4);
+  if (!status.ok()) return status;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::Ok();
+}
+
+Status WireReader::GetU64(uint64_t* out) {
+  Status status = Need(8);
+  if (!status.ok()) return status;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::Ok();
+}
+
+Status WireReader::GetI32(int32_t* out) {
+  uint32_t v;
+  Status status = GetU32(&v);
+  if (!status.ok()) return status;
+  *out = static_cast<int32_t>(v);
+  return Status::Ok();
+}
+
+Status WireReader::GetI64(int64_t* out) {
+  uint64_t v;
+  Status status = GetU64(&v);
+  if (!status.ok()) return status;
+  *out = static_cast<int64_t>(v);
+  return Status::Ok();
+}
+
+Status WireReader::GetF64(double* out) {
+  uint64_t bits;
+  Status status = GetU64(&bits);
+  if (!status.ok()) return status;
+  *out = BitsF64(bits);
+  return Status::Ok();
+}
+
+Status WireReader::GetString(std::string* out) {
+  uint64_t declared;
+  Status status = GetU64(&declared);
+  if (!status.ok()) return status;
+  uint64_t n;
+  status = CheckedLength(declared, remaining(), 1, &n);
+  if (!status.ok()) return status;
+  status = Need(n);
+  if (!status.ok()) return status;
+  out->assign(bytes_.data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status WireReader::GetVec(math::Vec* out) {
+  uint64_t declared;
+  Status status = GetU64(&declared);
+  if (!status.ok()) return status;
+  uint64_t n;
+  status = CheckedLength(declared, remaining(), 8, &n);
+  if (!status.ok()) return status;
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    status = GetF64(&v);
+    if (!status.ok()) return status;
+    out->push_back(v);
+  }
+  return Status::Ok();
+}
+
+Status WireReader::GetMatrix(math::Matrix* out) {
+  uint32_t rows;
+  uint32_t cols;
+  Status status = GetU32(&rows);
+  if (!status.ok()) return status;
+  status = GetU32(&cols);
+  if (!status.ok()) return status;
+  if (rows > (1u << 30) || cols > (1u << 30)) {
+    return Status::DataLoss("wire: implausible matrix shape");
+  }
+  const uint64_t elems = static_cast<uint64_t>(rows) * cols;
+  uint64_t checked;
+  status = CheckedLength(elems, remaining(), 8, &checked);
+  if (!status.ok()) return status;
+  math::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  for (double& x : m.data()) {
+    status = GetF64(&x);
+    if (!status.ok()) return status;
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+uint32_t Crc32(std::string_view bytes) {
+  // Table-driven CRC-32 (reflected 0xEDB88320); table built on first use.
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gem::serve

@@ -1,0 +1,78 @@
+#ifndef GEM_SERVE_WIRE_H_
+#define GEM_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace gem::serve {
+
+/// Endian-stable binary primitives for the snapshot format
+/// (serve/snapshot.cc). Everything is encoded little-endian byte by
+/// byte, so snapshots written on any host read back on any other;
+/// doubles travel as their IEEE-754 bit pattern (bit-exact round
+/// trips, the contract the snapshot property tests assert).
+
+/// Appends primitives to a growing byte buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  /// u64 length + raw bytes.
+  void PutString(std::string_view s);
+  /// u64 length + f64 elements.
+  void PutVec(const math::Vec& v);
+  /// u32 rows, u32 cols, row-major f64 elements.
+  void PutMatrix(const math::Matrix& m);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked sequential reader over a byte buffer. Every read
+/// returns a Status instead of touching out-of-range memory, so a
+/// truncated or bit-flipped snapshot fails cleanly (never UB).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI32(int32_t* out);
+  Status GetI64(int64_t* out);
+  Status GetF64(double* out);
+  Status GetString(std::string* out);
+  Status GetVec(math::Vec* out);
+  Status GetMatrix(math::Matrix* out);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) of a byte span. Each
+/// snapshot section carries one so a flipped payload byte is detected
+/// before any state is rebuilt from it.
+uint32_t Crc32(std::string_view bytes);
+
+}  // namespace gem::serve
+
+#endif  // GEM_SERVE_WIRE_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "tests/detect/test_blobs.h"
 
 namespace gem::detect {
@@ -173,6 +174,101 @@ TEST(EnhancedHbosDetectorTest, ResistsOutwardDrift) {
   }
   // The drift endpoint is still a clear outlier.
   EXPECT_TRUE(detector.IsOutlier({2.0, 2.0}));
+}
+
+TEST(HistogramModelTest, RetentionCapBoundsBuffer) {
+  const auto data = BimodalNormal(100, 2, 11);
+  HistogramModel model;
+  ASSERT_TRUE(model.Fit(data, 10, /*max_retained=*/40).ok());
+  EXPECT_EQ(model.samples(), 100);
+  EXPECT_EQ(model.data().size(), 40u);
+  for (int i = 0; i < 500; ++i) model.Add(data[i % data.size()]);
+  EXPECT_EQ(model.samples(), 600);
+  EXPECT_EQ(model.data().size(), 40u);  // never grows past the cap
+}
+
+TEST(HistogramModelTest, DefaultRetainsEverything) {
+  const auto data = BimodalNormal(100, 2, 12);
+  HistogramModel model;
+  ASSERT_TRUE(model.Fit(data, 10).ok());
+  for (int i = 0; i < 50; ++i) model.Add(data[i]);
+  EXPECT_EQ(model.data().size(), 150u);
+  EXPECT_EQ(model.samples(), 150);
+}
+
+TEST(HistogramModelTest, CapAboveStreamSizeMatchesUnlimited) {
+  const auto data = BimodalNormal(80, 2, 13);
+  HistogramModel unlimited;
+  HistogramModel capped;
+  ASSERT_TRUE(unlimited.Fit(data, 10).ok());
+  ASSERT_TRUE(capped.Fit(data, 10, /*max_retained=*/10000).ok());
+  for (const auto& x : FreshInliers(30, 2, 13)) {
+    unlimited.Add(x);
+    capped.Add(x);
+  }
+  // The reservoir only kicks in past the cap; under it, behavior —
+  // including range-expanding recounts — is identical.
+  for (const auto& x : BimodalNormal(20, 2, 14)) {
+    EXPECT_DOUBLE_EQ(unlimited.RawScore(x), capped.RawScore(x));
+  }
+}
+
+TEST(HistogramModelTest, ReservoirIsDeterministic) {
+  const auto data = BimodalNormal(100, 2, 15);
+  HistogramModel a;
+  HistogramModel b;
+  ASSERT_TRUE(a.Fit(data, 10, /*max_retained=*/25).ok());
+  ASSERT_TRUE(b.Fit(data, 10, /*max_retained=*/25).ok());
+  for (int i = 0; i < 300; ++i) {
+    a.Add(data[i % data.size()]);
+    b.Add(data[i % data.size()]);
+  }
+  ASSERT_EQ(a.data().size(), b.data().size());
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    for (size_t j = 0; j < a.data()[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.data()[i][j], b.data()[i][j]);
+    }
+  }
+  for (const auto& x : BimodalNormal(20, 2, 16)) {
+    EXPECT_DOUBLE_EQ(a.RawScore(x), b.RawScore(x));
+  }
+}
+
+TEST(HistogramModelTest, CappedRecountKeepsMassInvariant) {
+  // A range-expanding Add rebuilds from the reservoir scaled back up to
+  // samples(); the histogram's total mass must stay samples() per
+  // dimension, capped or not.
+  const auto data = BimodalNormal(100, 2, 17);
+  HistogramModel model;
+  ASSERT_TRUE(model.Fit(data, 10, /*max_retained=*/30).ok());
+  model.Add({100.0, -100.0});  // far out of range: forces the recount
+  EXPECT_EQ(model.samples(), 101);
+  // Rare regions still score as rare after the scaled rebuild.
+  EXPECT_GT(model.RawScore({90.0, -90.0}), model.RawScore(data[0]));
+}
+
+TEST(HistogramModelTest, EvictionCounterTicks) {
+  auto& evicted = gem::obs::MetricsRegistry::Get().GetCounter(
+      "gem_hbos_evicted_total");
+  const uint64_t before = evicted.value();
+  const auto data = BimodalNormal(50, 2, 18);
+  HistogramModel model;
+  ASSERT_TRUE(model.Fit(data, 10, /*max_retained=*/10).ok());
+  for (int i = 0; i < 100; ++i) model.Add(data[i % data.size()]);
+  // 50 - 10 drops during Fit plus 100 capped Adds = 140 evictions.
+  EXPECT_EQ(evicted.value() - before, 140u);
+}
+
+TEST(EnhancedHbosDetectorTest, RetentionCapFlowsThrough) {
+  EnhancedHbosOptions options;
+  options.max_retained_samples = 60;
+  EnhancedHbosDetector detector(options);
+  ASSERT_TRUE(detector.Fit(BimodalNormal(200, 4, 19)).ok());
+  EXPECT_EQ(detector.model().samples(), 200);
+  EXPECT_EQ(detector.model().data().size(), 60u);
+  EXPECT_EQ(detector.model().max_retained(), 60);
+  // The bounded detector still detects.
+  EXPECT_GE(OutlierRate(detector, FarOutliers(50, 4, 19)), 0.95);
 }
 
 TEST(EnhancedHbosDetectorTest, ValidatesOptions) {

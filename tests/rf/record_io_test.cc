@@ -77,5 +77,94 @@ TEST(RecordIoTest, HandComposedFileLoads) {
   EXPECT_TRUE(loaded.value()[1].inside);
 }
 
+std::string WriteFile(const char* name, const std::string& body) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+constexpr const char* kHeader = "record_id,timestamp_s,inside,mac,rss_dbm,band\n";
+
+TEST(RecordIoTest, EmptyFileRejected) {
+  const std::string path = WriteFile("records_zero_bytes.csv", "");
+  const auto loaded = LoadRecordsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordIoTest, HeaderOnlyFileIsEmptyList) {
+  const std::string path = WriteFile("records_header_only.csv", kHeader);
+  const auto loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(RecordIoTest, NonNumericRssRejected) {
+  const std::string path = WriteFile(
+      "records_bad_rss.csv", std::string(kHeader) + "0,1.0,1,aa:01,-50dBm,5\n");
+  const auto loaded = LoadRecordsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordIoTest, NonNumericTimestampRejected) {
+  const std::string path = WriteFile(
+      "records_bad_ts.csv", std::string(kHeader) + "0,noon,1,aa:01,-50,5\n");
+  EXPECT_FALSE(LoadRecordsCsv(path).ok());
+}
+
+TEST(RecordIoTest, UnknownBandRejected) {
+  const std::string path = WriteFile(
+      "records_bad_band.csv", std::string(kHeader) + "0,1.0,1,aa:01,-50,6\n");
+  const auto loaded = LoadRecordsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("band"), std::string::npos);
+}
+
+TEST(RecordIoTest, RecordIdWithTrailingGarbageRejected) {
+  const std::string path = WriteFile(
+      "records_bad_id.csv", std::string(kHeader) + "0x7,1.0,1,aa:01,-50,5\n");
+  EXPECT_FALSE(LoadRecordsCsv(path).ok());
+}
+
+TEST(RecordIoTest, BadInsideFlagRejected) {
+  const std::string path = WriteFile(
+      "records_bad_inside.csv",
+      std::string(kHeader) + "0,1.0,yes,aa:01,-50,5\n");
+  EXPECT_FALSE(LoadRecordsCsv(path).ok());
+}
+
+TEST(RecordIoTest, InterleavedRecordIdsGroup) {
+  // Multi-device logs merged by timestamp interleave ids; rows with the
+  // same id must land in one record, first-seen order preserved.
+  const std::string path =
+      WriteFile("records_interleaved.csv",
+                std::string(kHeader) + "1,10,1,aa:01,-50,5\n"
+                                       "2,11,0,aa:02,-70,2.4\n"
+                                       "1,10,1,aa:03,-55,5\n"
+                                       "2,11,0,aa:04,-72,2.4\n");
+  const auto loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  ASSERT_EQ(loaded.value()[0].readings.size(), 2u);
+  EXPECT_EQ(loaded.value()[0].readings[0].mac, "aa:01");
+  EXPECT_EQ(loaded.value()[0].readings[1].mac, "aa:03");
+  EXPECT_TRUE(loaded.value()[0].inside);
+  ASSERT_EQ(loaded.value()[1].readings.size(), 2u);
+  EXPECT_FALSE(loaded.value()[1].inside);
+}
+
+TEST(RecordIoTest, CrlfLineEndingsLoad) {
+  const std::string path = WriteFile(
+      "records_crlf.csv",
+      "record_id,timestamp_s,inside,mac,rss_dbm,band\r\n"
+      "0,1.0,1,aa:01,-50,5\r\n");
+  const auto loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].readings[0].band, Band::k5GHz);
+}
+
 }  // namespace
 }  // namespace gem::rf

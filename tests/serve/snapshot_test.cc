@@ -1,0 +1,212 @@
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gem.h"
+#include "rf/dataset.h"
+
+namespace gem::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+rf::Dataset SmallDataset(int user = 2, uint64_t seed = 77) {
+  rf::DatasetOptions options;
+  options.train_duration_s = 180.0;
+  options.test_segments = 2;
+  options.test_segment_duration_s = 60.0;
+  options.seed = seed;
+  return rf::GenerateScenarioDataset(rf::HomePreset(user), options);
+}
+
+core::GemConfig FastConfig() {
+  core::GemConfig config;
+  config.bisage.dimension = 8;
+  config.bisage.epochs = 1;
+  return config;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+TEST(SnapshotTest, UntrainedGemRefusesToSave) {
+  core::Gem gem(FastConfig());
+  const Status status = SaveSnapshot(TempPath("untrained.gem"), gem);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  const auto loaded = LoadSnapshot(TempPath("no_such_snapshot.gem"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// The acceptance bar for the format: across several randomized homes,
+// a save -> load cycle yields a model whose Infer scores are
+// BIT-identical to the original while both stream the same records —
+// including the online self-enhancement path, which only stays in sync
+// if graph, embedder, detector, AND the persisted RNG streams all
+// round-tripped exactly.
+TEST(SnapshotTest, RoundTripInferenceIsBitIdentical) {
+  struct Home {
+    int user;
+    uint64_t seed;
+  };
+  const std::vector<Home> homes = {{0, 11}, {2, 77}, {5, 123}};
+  for (const Home& home : homes) {
+    SCOPED_TRACE("user " + std::to_string(home.user));
+    const rf::Dataset data = SmallDataset(home.user, home.seed);
+    core::Gem original(FastConfig());
+    ASSERT_TRUE(original.Train(data.train).ok());
+
+    const std::string path =
+        TempPath("roundtrip_" + std::to_string(home.user) + ".gem");
+    ASSERT_TRUE(SaveSnapshot(path, original).ok());
+    auto loaded = LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    int absorbed = 0;
+    for (const rf::ScanRecord& record : data.test) {
+      const core::InferenceResult a = original.Infer(record);
+      const core::InferenceResult b = loaded.value().Infer(record);
+      ASSERT_EQ(Bits(a.score), Bits(b.score));
+      ASSERT_EQ(a.decision, b.decision);
+      ASSERT_EQ(a.model_updated, b.model_updated);
+      absorbed += a.model_updated ? 1 : 0;
+    }
+    // The sequences must have diverged IF state drifted — make sure the
+    // self-enhancement path actually exercised mutation.
+    EXPECT_GT(absorbed, 0);
+  }
+}
+
+TEST(SnapshotTest, ReSaveAfterLoadIsIdenticalBytes) {
+  const rf::Dataset data = SmallDataset();
+  core::Gem gem(FastConfig());
+  ASSERT_TRUE(gem.Train(data.train).ok());
+  const std::string first = TempPath("resave_first.gem");
+  const std::string second = TempPath("resave_second.gem");
+  ASSERT_TRUE(SaveSnapshot(first, gem).ok());
+  auto loaded = LoadSnapshot(first);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(SaveSnapshot(second, loaded.value()).ok());
+  EXPECT_EQ(ReadFile(first), ReadFile(second));
+}
+
+TEST(SnapshotTest, TruncationAtAnyLengthFailsCleanly) {
+  const rf::Dataset data = SmallDataset();
+  core::Gem gem(FastConfig());
+  ASSERT_TRUE(gem.Train(data.train).ok());
+  const std::string path = TempPath("truncate_src.gem");
+  ASSERT_TRUE(SaveSnapshot(path, gem).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::string cut_path = TempPath("truncate_cut.gem");
+  const std::vector<size_t> cuts = {0,  1,  7,  8,  11,
+                                    15, 16, 20, bytes.size() / 2,
+                                    bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    WriteFile(cut_path, bytes.substr(0, cut));
+    const auto loaded = LoadSnapshot(cut_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotTest, AnyFlippedByteFailsCleanly) {
+  const rf::Dataset data = SmallDataset();
+  core::Gem gem(FastConfig());
+  ASSERT_TRUE(gem.Train(data.train).ok());
+  const std::string path = TempPath("corrupt_src.gem");
+  ASSERT_TRUE(SaveSnapshot(path, gem).ok());
+  const std::string bytes = ReadFile(path);
+
+  // Every byte of the header region plus a stride over the payload:
+  // every payload byte is CRC-covered, so any single flip must surface
+  // as a clean error, never a crash or a silently different model.
+  std::vector<size_t> offsets;
+  for (size_t i = 0; i < 64 && i < bytes.size(); ++i) offsets.push_back(i);
+  for (size_t i = 64; i < bytes.size(); i += 211) offsets.push_back(i);
+  offsets.push_back(bytes.size() - 1);
+
+  const std::string flip_path = TempPath("corrupt_flip.gem");
+  for (const size_t offset : offsets) {
+    SCOPED_TRACE("flip at " + std::to_string(offset));
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x40);
+    WriteFile(flip_path, corrupt);
+    const auto loaded = LoadSnapshot(flip_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kDataLoss ||
+                loaded.status().code() == StatusCode::kInvalidArgument)
+        << loaded.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, TrailingBytesRejected) {
+  const rf::Dataset data = SmallDataset();
+  core::Gem gem(FastConfig());
+  ASSERT_TRUE(gem.Train(data.train).ok());
+  const std::string path = TempPath("trailing.gem");
+  ASSERT_TRUE(SaveSnapshot(path, gem).ok());
+  WriteFile(path, ReadFile(path) + '\0');
+  const auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, FutureFormatVersionRejected) {
+  const rf::Dataset data = SmallDataset();
+  core::Gem gem(FastConfig());
+  ASSERT_TRUE(gem.Train(data.train).ok());
+  const std::string path = TempPath("future_version.gem");
+  ASSERT_TRUE(SaveSnapshot(path, gem).ok());
+  std::string bytes = ReadFile(path);
+  // The u32 version sits right after the 8-byte magic (little-endian).
+  const uint32_t future = kSnapshotFormatVersion + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[8 + i] = static_cast<char>((future >> (8 * i)) & 0xFF);
+  }
+  WriteFile(path, bytes);
+  const auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.gem");
+  WriteFile(path, "NOTASNAP" + std::string(64, '\0'));
+  const auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace gem::serve
