@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
       // with the stable rescaling + strict tau_l gate of Section IV-C
       // / V-B, the original with the naive policy whose threshold and
       // normalization drift with the data size.
-      if (embedding.has_value()) {
+      if (embedding.ok()) {
         enhanced_scores.push_back(-enhanced.NormalizedScore(*embedding));
         plain_scores.push_back(-plain.Process(*embedding));
         enhanced.MaybeUpdate(*embedding);

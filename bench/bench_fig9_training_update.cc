@@ -1,9 +1,20 @@
 // Reproduces Figure 9: (a) F-score vs fraction of the initial training
 // data used; (b) F-score improving as the online update consumes
 // successive slices of the test stream.
+//
+// Timing mode (used by CI and the README's threading numbers):
+//   bench_fig9_training_update --timing_only [--threads=1,2,4]
+//                              [--bench_out=BENCH_train.json]
+// trains the same workload once per thread count, times Train and the
+// batched inference pass, and writes the measurements as JSON.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/gem.h"
 #include "eval/csv.h"
@@ -14,6 +25,112 @@
 namespace {
 
 using namespace gem;  // NOLINT(build/namespaces) bench binary
+
+std::string FlagValueFromArgs(int argc, char** argv, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return "";
+}
+
+std::vector<int> ParseThreadList(const std::string& s) {
+  std::vector<int> threads;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) {
+      const int t = std::atoi(s.substr(start, end - start).c_str());
+      if (t >= 1) threads.push_back(t);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (threads.empty()) threads = {1, 2, 4};
+  return threads;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Trains the Figure 9 workload once per thread count and reports the
+/// wall time of Train() and of a batched inference pass over the test
+/// stream. Returns 0 and writes `bench_out` (when non-empty) as JSON:
+///   {"workload": "fig9_train", "train_records": ...,
+///    "results": [{"threads": 1, "train_seconds": ..., ...}, ...]}
+int RunTimingOnly(const std::vector<int>& thread_counts,
+                  const std::string& bench_out) {
+  rf::DatasetOptions options;
+  options.seed = 321;
+  const rf::Dataset data =
+      rf::GenerateScenarioDataset(rf::HomePreset(2), options);
+
+  struct Timing {
+    int threads;
+    double train_seconds;
+    double infer_batch_seconds;
+  };
+  std::vector<Timing> timings;
+  eval::TextTable table({"Threads", "Train (s)", "InferBatch (s)",
+                         "Train speedup"});
+  double baseline = 0.0;
+  for (const int threads : thread_counts) {
+    core::GemConfig config;
+    config.bisage.num_threads = threads;
+    core::Gem gem(config);
+
+    const auto train_start = std::chrono::steady_clock::now();
+    if (!gem.Train(data.train).ok()) {
+      std::fprintf(stderr, "training failed at %d threads\n", threads);
+      return 1;
+    }
+    const double train_s = Seconds(train_start);
+
+    const auto infer_start = std::chrono::steady_clock::now();
+    const std::vector<core::InferenceResult> results =
+        gem.InferBatch(data.test);
+    const double infer_s = Seconds(infer_start);
+    if (results.size() != data.test.size()) {
+      std::fprintf(stderr, "batch size mismatch at %d threads\n", threads);
+      return 1;
+    }
+
+    if (baseline == 0.0) baseline = train_s;
+    timings.push_back({threads, train_s, infer_s});
+    table.AddRow({std::to_string(threads), eval::FormatValue(train_s),
+                  eval::FormatValue(infer_s),
+                  eval::FormatValue(baseline / train_s)});
+    std::fprintf(stderr, "  [timing] %d thread(s): train %.3fs, "
+                 "infer-batch %.3fs\n", threads, train_s, infer_s);
+  }
+  std::printf("=== Training / batched-inference timing ===\n\n");
+  table.Print();
+
+  if (!bench_out.empty()) {
+    std::ofstream out(bench_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", bench_out.c_str());
+      return 1;
+    }
+    out << "{\"workload\": \"fig9_train\", \"train_records\": "
+        << data.train.size() << ", \"test_records\": " << data.test.size()
+        << ", \"results\": [";
+    for (size_t i = 0; i < timings.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"threads\": " << timings[i].threads
+          << ", \"train_seconds\": " << timings[i].train_seconds
+          << ", \"infer_batch_seconds\": " << timings[i].infer_batch_seconds
+          << "}";
+    }
+    out << "]}\n";
+    std::fprintf(stderr, "wrote %s\n", bench_out.c_str());
+  }
+  return 0;
+}
 
 math::InOutMetrics RunGem(const std::vector<rf::ScanRecord>& train,
                           const std::vector<rf::ScanRecord>& test,
@@ -35,6 +152,16 @@ math::InOutMetrics RunGem(const std::vector<rf::ScanRecord>& train,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool timing_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timing_only") == 0) timing_only = true;
+  }
+  if (timing_only) {
+    return RunTimingOnly(
+        ParseThreadList(FlagValueFromArgs(argc, argv, "--threads=")),
+        FlagValueFromArgs(argc, argv, "--bench_out="));
+  }
+
   const std::string csv_dir = eval::CsvDirFromArgs(argc, argv);
   std::unique_ptr<eval::CsvWriter> csv;
   if (!csv_dir.empty()) {
@@ -94,7 +221,7 @@ int main(int argc, char** argv) {
       const auto embedding =
           const_cast<core::Gem&>(gem).EmbedRecord(record);
       bool inside = false;
-      if (embedding.has_value()) {
+      if (embedding.ok()) {
         inside = gem.Detect(*embedding).decision == core::Decision::kInside;
       }
       actual.push_back(record.inside);

@@ -30,7 +30,7 @@ struct LatencySetup {
     // embedding input.
     for (const rf::ScanRecord& record : data.test) {
       auto embedding = gem->EmbedRecord(record);
-      if (embedding.has_value()) embeddings.push_back(*embedding);
+      if (embedding.ok()) embeddings.push_back(*embedding);
       if (embeddings.size() >= 256) break;
     }
     GEM_CHECK(!embeddings.empty());

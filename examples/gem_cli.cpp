@@ -3,17 +3,23 @@
 // Usage:
 //   gem_cli simulate <out_train.csv> <out_test.csv> [user 0-9] [seed]
 //       Generate a simulated home dataset and write it as CSV.
-//   gem_cli run <train.csv> <test.csv>
+//   gem_cli run <train.csv> <test.csv> [--threads=N]
 //       Train GEM on the (in-premises) training records and stream the
 //       test records through it, printing one decision per record and
 //       summary metrics at the end (when the CSV carries ground truth).
-//   gem_cli train <train.csv> --snapshot_out=<model.gem>
+//   gem_cli train <train.csv> --snapshot_out=<model.gem> [--threads=N]
 //       Train GEM and persist the fitted model as a binary snapshot.
 //   gem_cli serve --snapshots=<a.gem,b.gem,...> --requests=<records.csv>
 //           [--threads=N] [--queue_depth=N]
 //       Load each snapshot as a fence (id = file basename without
 //       .gem), start the multi-tenant serving engine, and replay the
 //       request CSV across the fences round-robin.
+//
+// --threads=N sets the BiSAGE training / batch-embedding worker count
+// for run and train, and the engine worker count for serve. The value
+// is recorded in the metrics dump as the gem_cli_threads gauge
+// (labeled by command), so a --metrics_out file documents how the run
+// was parallelized.
 //
 // Observability flags (any command):
 //   --metrics_out=<path>   Write a gem::obs metrics dump after the run
@@ -51,8 +57,8 @@ namespace {
 constexpr const char* kUsage =
     "gem_cli — geofencing over CSV scan logs\n"
     "  gem_cli simulate <train.csv> <test.csv> [user 0-9] [seed]\n"
-    "  gem_cli run <train.csv> <test.csv>\n"
-    "  gem_cli train <train.csv> --snapshot_out=<model.gem>\n"
+    "  gem_cli run <train.csv> <test.csv> [--threads=N]\n"
+    "  gem_cli train <train.csv> --snapshot_out=<model.gem> [--threads=N]\n"
     "  gem_cli serve --snapshots=<a.gem,b.gem,...> "
     "--requests=<records.csv>\n"
     "          [--threads=N] [--queue_depth=N]\n"
@@ -223,10 +229,28 @@ int Simulate(const ParsedArgs& args) {
   return 0;
 }
 
-Result<core::Gem> TrainFromCsv(const std::string& path) {
+/// Parses an optional --threads flag (default 1). Returns false on a
+/// malformed value; the thread count lands in the gem_cli_threads
+/// gauge so a --metrics_out dump records the run's parallelism.
+bool ParseThreadsFlag(const ParsedArgs& args, const std::string& command,
+                      int* threads) {
+  *threads = 1;
+  const std::string value = FlagValue(args, "threads");
+  if (!value.empty() && !ParsePositiveInt(value, "threads", threads)) {
+    return false;
+  }
+  obs::MetricsRegistry::Get()
+      .GetGauge("gem_cli_threads", {{"command", command}})
+      .Set(static_cast<double>(*threads));
+  return true;
+}
+
+Result<core::Gem> TrainFromCsv(const std::string& path, int num_threads) {
   auto train = rf::LoadRecordsCsv(path);
   if (!train.ok()) return train.status();
-  core::Gem gem{core::GemConfig{}};
+  core::GemConfig config;
+  config.bisage.num_threads = num_threads;
+  core::Gem gem{config};
   const Status status = gem.Train(train.value());
   if (!status.ok()) return status;
   std::fprintf(stderr, "trained on %zu records (%d MACs)\n",
@@ -236,7 +260,9 @@ Result<core::Gem> TrainFromCsv(const std::string& path) {
 
 int Run(const ParsedArgs& args) {
   if (args.positional.size() < 3) return Usage();
-  auto gem = TrainFromCsv(args.positional[1]);
+  int threads = 1;
+  if (!ParseThreadsFlag(args, "run", &threads)) return 2;
+  auto gem = TrainFromCsv(args.positional[1], threads);
   if (!gem.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
                  gem.status().ToString().c_str());
@@ -276,7 +302,9 @@ int Train(const ParsedArgs& args) {
     std::fprintf(stderr, "train needs --snapshot_out=<model.gem>\n");
     return 2;
   }
-  auto gem = TrainFromCsv(args.positional[1]);
+  int threads = 1;
+  if (!ParseThreadsFlag(args, "train", &threads)) return 2;
+  auto gem = TrainFromCsv(args.positional[1], threads);
   if (!gem.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
                  gem.status().ToString().c_str());
@@ -308,6 +336,9 @@ int Serve(const ParsedArgs& args) {
       !ParsePositiveInt(threads_s, "threads", &options.num_threads)) {
     return 2;
   }
+  obs::MetricsRegistry::Get()
+      .GetGauge("gem_cli_threads", {{"command", "serve"}})
+      .Set(static_cast<double>(options.num_threads));
   const std::string depth_s = FlagValue(args, "queue_depth");
   if (!depth_s.empty()) {
     int depth = 0;
@@ -381,8 +412,10 @@ int main(int argc, char** argv) {
   const std::string& command = args.positional[0];
 
   std::vector<std::string> allowed;
-  if (command == "train") {
-    allowed = {"snapshot_out"};
+  if (command == "run") {
+    allowed = {"threads"};
+  } else if (command == "train") {
+    allowed = {"snapshot_out", "threads"};
   } else if (command == "serve") {
     allowed = {"snapshots", "requests", "threads", "queue_depth"};
   } else if (command != "simulate" && command != "run") {

@@ -3,13 +3,13 @@
 
 #include <string>
 #include <utility>
-#include <variant>
 
 namespace gem {
 
 /// Error codes used across the GEM library. Modeled after the
 /// Status idiom used by Arrow/RocksDB: fallible public APIs return a
-/// `Status` (or `Result<T>`) instead of throwing.
+/// `Status` (or `StatusOr<T>`, see base/statusor.h) instead of
+/// throwing.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -66,27 +66,6 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
-};
-
-/// A value-or-error wrapper. Access `value()` only when `ok()`.
-template <typename T>
-class Result {
- public:
-  /// Implicit from value and from Status so call sites can
-  /// `return value;` or `return Status::InvalidArgument(...)`.
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  Result(Status status) : data_(std::move(status)) {}  // NOLINT
-
-  bool ok() const { return std::holds_alternative<T>(data_); }
-  const T& value() const& { return std::get<T>(data_); }
-  T& value() & { return std::get<T>(data_); }
-  T&& value() && { return std::get<T>(std::move(data_)); }
-  Status status() const {
-    return ok() ? Status::Ok() : std::get<Status>(data_);
-  }
-
- private:
-  std::variant<T, Status> data_;
 };
 
 }  // namespace gem

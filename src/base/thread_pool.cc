@@ -1,0 +1,142 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace gem {
+
+Status ThreadPoolOptions::Validate() const {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("thread pool needs num_threads >= 1, got " +
+                                   std::to_string(num_threads));
+  }
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "thread pool num_threads " + std::to_string(num_threads) +
+        " exceeds the maximum of " + std::to_string(kMaxThreads));
+  }
+  return Status::Ok();
+}
+
+std::pair<long, long> StaticChunkRange(long n, long num_chunks, long chunk) {
+  GEM_DCHECK(n >= 0 && num_chunks >= 1 && chunk >= 0 && chunk < num_chunks);
+  const long base = n / num_chunks;
+  const long extra = n % num_chunks;
+  const long begin = chunk * base + std::min(chunk, extra);
+  const long size = base + (chunk < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
+  GEM_CHECK(options_.Validate().ok());
+  // A 1-thread pool runs everything inline on the caller: no workers,
+  // no synchronization, bit-for-bit the serial code path.
+  const int workers = options_.num_threads - 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+StatusOr<std::unique_ptr<ThreadPool>> ThreadPool::Create(
+    ThreadPoolOptions options) {
+  const Status status = options.Validate();
+  if (!status.ok()) return status;
+  return std::make_unique<ThreadPool>(options);
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  GEM_DCHECK(fn != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    if (!shutting_down_ && !workers_.empty()) {
+      queue_.push_back(std::move(fn));
+      work_available_.notify_one();
+      return;
+    }
+  }
+  // No workers (1-thread pool) or shutting down: run on the caller so
+  // submitted work is never silently dropped.
+  fn();
+}
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+    to_join.swap(workers_);  // claimed by exactly one Shutdown caller
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : to_join) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    long n, const std::function<void(int chunk, long begin, long end)>& body) {
+  ParallelForChunked(n, options_.num_threads, body);
+}
+
+void ThreadPool::ParallelForChunked(
+    long n, long num_chunks,
+    const std::function<void(int chunk, long begin, long end)>& body) {
+  if (n <= 0) return;
+  num_chunks = std::clamp(num_chunks, 1L, n);
+  bool inline_only;
+  {
+    std::lock_guard lock(mutex_);
+    inline_only = workers_.empty() || shutting_down_;
+  }
+  if (num_chunks == 1 || inline_only) {
+    // Same chunk decomposition, executed in index order on the caller:
+    // body still sees the exact (chunk, begin, end) triples it would
+    // see on a larger pool.
+    for (long c = 0; c < num_chunks; ++c) {
+      const auto [begin, end] = StaticChunkRange(n, num_chunks, c);
+      body(static_cast<int>(c), begin, end);
+    }
+    return;
+  }
+
+  // Per-call completion latch, so concurrent ParallelFor calls on one
+  // pool never observe each other's chunks.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    long remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = num_chunks - 1;
+  for (long c = 1; c < num_chunks; ++c) {
+    Submit([latch, &body, n, num_chunks, c] {
+      const auto [begin, end] = StaticChunkRange(n, num_chunks, c);
+      body(static_cast<int>(c), begin, end);
+      std::lock_guard lock(latch->mutex);
+      if (--latch->remaining == 0) latch->done.notify_one();
+    });
+  }
+  const auto [begin, end] = StaticChunkRange(n, num_chunks, 0);
+  body(0, begin, end);
+  std::unique_lock lock(latch->mutex);
+  latch->done.wait(lock, [&latch] { return latch->remaining == 0; });
+}
+
+}  // namespace gem

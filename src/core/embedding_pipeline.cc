@@ -37,9 +37,9 @@ InferenceResult EmbeddingPipeline::Infer(const rf::ScanRecord& record) {
   static obs::Counter& outside_count =
       obs::MetricsRegistry::Get().GetCounter("pipeline_decisions_total",
                                              {{"decision", "outside"}});
-  const std::optional<math::Vec> embedding = embedder_->EmbedNew(record);
+  const StatusOr<math::Vec> embedding = embedder_->EmbedNew(record);
   InferenceResult result;
-  if (!embedding.has_value()) {
+  if (!embedding.ok()) {
     result.decision = Decision::kOutside;
     result.score = 1.0;
     outside_count.Increment();

@@ -16,6 +16,12 @@ obs::Counter& DecisionCounter(const char* decision) {
 
 }  // namespace
 
+Status GemConfig::Validate() const {
+  Status status = bisage.Validate();
+  if (!status.ok()) return status;
+  return detector.Validate();
+}
+
 Gem::Gem(GemConfig config)
     : config_(config),
       embedder_(config.bisage, config.edge_weight),
@@ -28,15 +34,22 @@ Gem::Gem(FromPartsTag, GemConfig config, embed::BiSageEmbedder embedder,
       detector_(std::move(detector)),
       trained_(true) {}
 
-Gem Gem::FromParts(GemConfig config, embed::BiSageEmbedder embedder,
-                   detect::EnhancedHbosDetector detector) {
-  GEM_CHECK(embedder.model().trained());
+StatusOr<Gem> Gem::FromParts(GemConfig config, embed::BiSageEmbedder embedder,
+                             detect::EnhancedHbosDetector detector) {
+  const Status config_status = config.Validate();
+  if (!config_status.ok()) return config_status;
+  if (!embedder.model().trained()) {
+    return Status::FailedPrecondition(
+        "gem parts: embedder model is not trained");
+  }
   return Gem(FromPartsTag{}, std::move(config), std::move(embedder),
              std::move(detector));
 }
 
 Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
   GEM_TRACE_SPAN("gem.train");
+  const Status config_status = config_.Validate();
+  if (!config_status.ok()) return config_status;
   static obs::Counter& train_records =
       obs::MetricsRegistry::Get().GetCounter("gem_train_records_total");
   train_records.Increment(inside_records.size());
@@ -65,10 +78,24 @@ Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
   return Status::Ok();
 }
 
-std::optional<math::Vec> Gem::EmbedRecord(const rf::ScanRecord& record) {
-  GEM_CHECK(trained_);
+StatusOr<math::Vec> Gem::EmbedRecord(const rf::ScanRecord& record) {
+  if (!trained_) return Status::FailedPrecondition("gem is not trained");
   GEM_TRACE_SPAN("gem.embed");
   return embedder_.EmbedNew(record);
+}
+
+std::vector<StatusOr<math::Vec>> Gem::EmbedBatch(
+    const std::vector<rf::ScanRecord>& records) {
+  GEM_TRACE_SPAN("gem.embed_batch");
+  if (!trained_) {
+    std::vector<StatusOr<math::Vec>> out;
+    out.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      out.push_back(Status::FailedPrecondition("gem is not trained"));
+    }
+    return out;
+  }
+  return embedder_.EmbedNewBatch(records);
 }
 
 InferenceResult Gem::Detect(const math::Vec& embedding) const {
@@ -97,8 +124,7 @@ bool Gem::Update(const math::Vec& embedding) {
   return detector_.MaybeUpdate(embedding);
 }
 
-InferenceResult Gem::Infer(const rf::ScanRecord& record) {
-  GEM_TRACE_SPAN("gem.infer");
+InferenceResult Gem::FinishInfer(const StatusOr<math::Vec>& embedding) {
   static obs::Counter& infer_count =
       obs::MetricsRegistry::Get().GetCounter("gem_infer_total");
   static obs::Counter& no_common_mac =
@@ -106,8 +132,7 @@ InferenceResult Gem::Infer(const rf::ScanRecord& record) {
   static obs::Counter& outside_count = DecisionCounter("outside");
   infer_count.Increment();
 
-  const std::optional<math::Vec> embedding = EmbedRecord(record);
-  if (!embedding.has_value()) {
+  if (!embedding.ok()) {
     // No MAC in common with anything seen: alert outright.
     no_common_mac.Increment();
     outside_count.Increment();
@@ -121,6 +146,29 @@ InferenceResult Gem::Infer(const rf::ScanRecord& record) {
     result.model_updated = Update(*embedding);
   }
   return result;
+}
+
+InferenceResult Gem::Infer(const rf::ScanRecord& record) {
+  GEM_TRACE_SPAN("gem.infer");
+  GEM_CHECK(trained_);
+  return FinishInfer(EmbedRecord(record));
+}
+
+std::vector<InferenceResult> Gem::InferBatch(
+    const std::vector<rf::ScanRecord>& records) {
+  GEM_TRACE_SPAN("gem.infer_batch");
+  GEM_CHECK(trained_);
+  // Embeddings are computed in parallel; detection + self-enhancement
+  // then run serially in input order, so the detector state evolves
+  // exactly as it would under the equivalent sequence of Infer calls
+  // (embeddings do not depend on detector state).
+  const std::vector<StatusOr<math::Vec>> embeddings = EmbedBatch(records);
+  std::vector<InferenceResult> results;
+  results.reserve(embeddings.size());
+  for (const StatusOr<math::Vec>& embedding : embeddings) {
+    results.push_back(FinishInfer(embedding));
+  }
+  return results;
 }
 
 }  // namespace gem::core

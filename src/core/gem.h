@@ -2,10 +2,10 @@
 #define GEM_CORE_GEM_H_
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "base/statusor.h"
 #include "core/geofence.h"
 #include "detect/hbos.h"
 #include "embed/bisage.h"
@@ -22,6 +22,11 @@ struct GemConfig {
   detect::EnhancedHbosOptions detector;
   /// Section V-B self-enhancement (absorb highly confident normals).
   bool online_update = true;
+
+  /// kInvalidArgument describing the first offending field across the
+  /// nested configs (BiSAGE, detector), Ok otherwise. Checked by
+  /// Gem::Train / Gem::FromParts and the serving engine at start-up.
+  Status Validate() const;
 };
 
 /// GEM (Section III): weighted bipartite graph -> BiSAGE embeddings ->
@@ -38,10 +43,26 @@ class Gem : public GeofencingSystem {
   InferenceResult Infer(const rf::ScanRecord& record) override;
   std::string name() const override { return "GEM (BiSAGE + OD)"; }
 
+  /// Full inference over a batch of records on the model's thread
+  /// pool: all records join the graph serially in input order, the
+  /// embeddings are computed in parallel (bit-identical at any thread
+  /// count), then detection and self-enhancement run serially in input
+  /// order — so the detector sees exactly the update sequence the
+  /// equivalent Infer() loop would produce. Result i corresponds to
+  /// record i.
+  std::vector<InferenceResult> InferBatch(
+      const std::vector<rf::ScanRecord>& records);
+
   /// Stage 1 (Section V-A): add the record to the graph and compute
-  /// its primary embedding; nullopt when it shares no MAC with the
-  /// graph (outlier outright, footnote 3).
-  std::optional<math::Vec> EmbedRecord(const rf::ScanRecord& record);
+  /// its primary embedding. kNotFound when it shares no MAC with the
+  /// graph (outlier outright, footnote 3); kFailedPrecondition when
+  /// the model is not trained.
+  StatusOr<math::Vec> EmbedRecord(const rf::ScanRecord& record);
+
+  /// Batched stage 1 (see InferBatch for the graph-append semantics);
+  /// slot i corresponds to record i.
+  std::vector<StatusOr<math::Vec>> EmbedBatch(
+      const std::vector<rf::ScanRecord>& records);
 
   /// Stage 2: in-out detection on an embedding (Equation (11)).
   InferenceResult Detect(const math::Vec& embedding) const;
@@ -57,14 +78,19 @@ class Gem : public GeofencingSystem {
 
   /// Snapshot support (serve/snapshot.cc): reassembles a trained Gem
   /// from restored components. The embedder must already be fitted and
-  /// the detector already carry its persisted state.
-  static Gem FromParts(GemConfig config, embed::BiSageEmbedder embedder,
-                       detect::EnhancedHbosDetector detector);
+  /// the detector already carry its persisted state; the config must
+  /// validate. kInvalidArgument / kFailedPrecondition otherwise.
+  static StatusOr<Gem> FromParts(GemConfig config,
+                                 embed::BiSageEmbedder embedder,
+                                 detect::EnhancedHbosDetector detector);
 
  private:
   struct FromPartsTag {};
   Gem(FromPartsTag, GemConfig config, embed::BiSageEmbedder embedder,
       detect::EnhancedHbosDetector detector);
+
+  /// Stages 2+3 plus the decision metrics, shared by Infer/InferBatch.
+  InferenceResult FinishInfer(const StatusOr<math::Vec>& embedding);
 
   GemConfig config_;
   embed::BiSageEmbedder embedder_;

@@ -232,6 +232,50 @@ double Logit(double p) { return std::log(p / (1.0 - p)); }
 
 }  // namespace
 
+Status EnhancedHbosOptions::Validate() const {
+  if (bins < 1) {
+    return Status::InvalidArgument("detector: bins must be >= 1, got " +
+                                   std::to_string(bins));
+  }
+  if (!(temperature > 0.0) || !std::isfinite(temperature)) {
+    return Status::InvalidArgument(
+        "detector: temperature must be positive and finite");
+  }
+  if (!(tau_upper > 0.0 && tau_upper < 1.0)) {
+    return Status::InvalidArgument(
+        "detector: tau_upper must be in (0, 1), got " +
+        std::to_string(tau_upper));
+  }
+  if (!(tau_lower > 0.0 && tau_lower < tau_upper)) {
+    return Status::InvalidArgument(
+        "detector: tau_lower must be in (0, tau_upper), got " +
+        std::to_string(tau_lower));
+  }
+  if (auto_calibrate && calibration_folds < 2) {
+    return Status::InvalidArgument(
+        "detector: calibration needs >= 2 folds, got " +
+        std::to_string(calibration_folds));
+  }
+  if (!(calibration_upper_percentile > 0.0 &&
+        calibration_upper_percentile <= 100.0) ||
+      !(calibration_lower_percentile >= 0.0 &&
+        calibration_lower_percentile < calibration_upper_percentile)) {
+    return Status::InvalidArgument(
+        "detector: calibration percentiles must satisfy 0 <= lower < "
+        "upper <= 100");
+  }
+  if (!(calibration_spread_factor >= 0.0) ||
+      !std::isfinite(calibration_spread_factor)) {
+    return Status::InvalidArgument(
+        "detector: calibration_spread_factor must be >= 0 and finite");
+  }
+  if (max_retained_samples < 0) {
+    return Status::InvalidArgument(
+        "detector: max_retained_samples must be >= 0 (0 = unlimited)");
+  }
+  return Status::Ok();
+}
+
 EnhancedHbosDetector::EnhancedHbosDetector(EnhancedHbosOptions options)
     : HbosDetector(
           HbosOptions{options.bins, 0.1, options.max_retained_samples}),

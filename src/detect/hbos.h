@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/statusor.h"
 #include "detect/detector.h"
 #include "math/matrix.h"
 #include "math/rng.h"
@@ -149,6 +150,10 @@ struct EnhancedHbosOptions {
   /// Bound on retained samples in the histogram model (0 = unlimited);
   /// see HbosOptions::max_retained_samples.
   long max_retained_samples = 0;
+
+  /// kInvalidArgument describing the first out-of-range knob, Ok
+  /// otherwise. Checked by Gem/serve config validation.
+  Status Validate() const;
 };
 
 class EnhancedHbosDetector : public HbosDetector {

@@ -107,10 +107,14 @@ math::Vec AutoencoderEmbedder::TrainEmbedding(int i) const {
   return train_codes_[i];
 }
 
-std::optional<math::Vec> AutoencoderEmbedder::EmbedNew(
+StatusOr<math::Vec> AutoencoderEmbedder::EmbedNew(
     const rf::ScanRecord& record) {
-  GEM_CHECK(trained_);
-  if (vocab_.CountKnownMacs(record) == 0) return std::nullopt;
+  if (!trained_) {
+    return Status::FailedPrecondition("embedder is not trained");
+  }
+  if (vocab_.CountKnownMacs(record) == 0) {
+    return Status::NotFound("record shares no MAC with the vocabulary");
+  }
   return Encode(vocab_.ToDenseNormalized(record, config_.pad_dbm));
 }
 

@@ -37,7 +37,7 @@ class AutoencoderEmbedder : public RecordEmbedder {
   Status Fit(const std::vector<rf::ScanRecord>& train) override;
   math::Vec TrainEmbedding(int i) const override;
   int num_train() const override { return num_train_; }
-  std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
+  StatusOr<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
   int dimension() const override { return config_.bottleneck; }
 
   /// Mean reconstruction loss of the final epoch (diagnostic).

@@ -13,6 +13,13 @@
 namespace gem::embed {
 namespace {
 
+// Salts separating the independent RNG stream families Train() draws
+// from (walks, epoch shuffles, per-group sampling) so no two families
+// ever share a stream for any (seed, id) combination.
+constexpr uint64_t kWalkStreamSalt = 0x9E2AB15A6E000001ULL;
+constexpr uint64_t kShuffleStreamSalt = 0x9E2AB15A6E000002ULL;
+constexpr uint64_t kGroupStreamSalt = 0x9E2AB15A6E000003ULL;
+
 /// Memoization key for (node, layer) pairs.
 long MemoKey(graph::NodeId node, int layer, int num_layers) {
   return static_cast<long>(node) * (num_layers + 1) + layer;
@@ -59,16 +66,71 @@ std::vector<graph::Neighbor> SampleUniform(const graph::BipartiteGraph& graph,
 
 }  // namespace
 
+Status BiSageConfig::Validate() const {
+  if (dimension < 1) {
+    return Status::InvalidArgument("bisage: dimension must be >= 1, got " +
+                                   std::to_string(dimension));
+  }
+  if (num_layers < 1) {
+    return Status::InvalidArgument("bisage: num_layers must be >= 1, got " +
+                                   std::to_string(num_layers));
+  }
+  if (static_cast<int>(fanouts.size()) != num_layers) {
+    return Status::InvalidArgument(
+        "bisage: fanouts must have one entry per layer (" +
+        std::to_string(num_layers) + "), got " +
+        std::to_string(fanouts.size()));
+  }
+  for (const int fanout : fanouts) {
+    if (fanout < 1) {
+      return Status::InvalidArgument(
+          "bisage: training fanouts must be >= 1, got " +
+          std::to_string(fanout));
+    }
+  }
+  // inference_fanouts entries <= 0 mean "full neighborhood"; only the
+  // shape is constrained. Empty means "same as fanouts".
+  if (!inference_fanouts.empty() &&
+      static_cast<int>(inference_fanouts.size()) != num_layers) {
+    return Status::InvalidArgument(
+        "bisage: inference_fanouts must be empty or have one entry per "
+        "layer (" +
+        std::to_string(num_layers) + "), got " +
+        std::to_string(inference_fanouts.size()));
+  }
+  if (walks_per_node < 1) {
+    return Status::InvalidArgument("bisage: walks_per_node must be >= 1");
+  }
+  if (walk_length < 1) {
+    return Status::InvalidArgument("bisage: walk_length must be >= 1");
+  }
+  if (epochs < 1) {
+    return Status::InvalidArgument("bisage: epochs must be >= 1");
+  }
+  if (num_negatives < 0) {
+    return Status::InvalidArgument("bisage: num_negatives must be >= 0");
+  }
+  if (!(learning_rate > 0.0) || !std::isfinite(learning_rate)) {
+    return Status::InvalidArgument(
+        "bisage: learning_rate must be positive and finite");
+  }
+  if (batch_pairs < 1) {
+    return Status::InvalidArgument("bisage: batch_pairs must be >= 1");
+  }
+  if (min_mac_degree < 1) {
+    return Status::InvalidArgument("bisage: min_mac_degree must be >= 1");
+  }
+  return ThreadPoolOptions{num_threads}.Validate();
+}
+
 BiSage::BiSage(BiSageConfig config)
     : config_(std::move(config)), init_rng_(config_.seed ^ 0xB15A6EULL) {
-  GEM_CHECK(config_.dimension > 0);
-  GEM_CHECK(config_.num_layers >= 1);
-  GEM_CHECK(static_cast<int>(config_.fanouts.size()) == config_.num_layers);
   if (config_.inference_fanouts.empty()) {
     config_.inference_fanouts = config_.fanouts;
   }
-  GEM_CHECK(static_cast<int>(config_.inference_fanouts.size()) ==
-            config_.num_layers);
+  config_status_ = config_.Validate();
+  if (!config_status_.ok()) return;
+
   const int d = config_.dimension;
   h_table_ = math::Matrix(0, d);
   l_table_ = math::Matrix(0, d);
@@ -85,6 +147,12 @@ BiSage::BiSage(BiSageConfig config)
     adam_->Register(w_h_.back().get());
     adam_->Register(w_l_.back().get());
   }
+}
+
+ThreadPool& BiSage::thread_pool() const {
+  GEM_CHECK(config_status_.ok());
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  return *pool_;
 }
 
 void BiSage::EnsureCapacity(const graph::BipartiteGraph& graph,
@@ -113,11 +181,15 @@ void BiSage::EnsureCapacity(const graph::BipartiteGraph& graph,
   }
 }
 
+void BiSage::PrepareInference(const graph::BipartiteGraph& graph) const {
+  EnsureCapacity(graph, graph.num_nodes());
+  graph.WarmCaches();
+}
+
 BiSage::NodeVars BiSage::BuildNodeVars(
     math::Tape& tape, const graph::BipartiteGraph& graph,
     graph::NodeId node, int layer, math::Rng& rng,
-    std::unordered_map<long, NodeVars>& memo,
-    std::vector<std::pair<graph::NodeId, NodeVars>>* leaves) const {
+    std::unordered_map<long, NodeVars>& memo) const {
   const long key = MemoKey(node, layer, config_.num_layers);
   const auto it = memo.find(key);
   if (it != memo.end()) return it->second;
@@ -126,10 +198,9 @@ BiSage::NodeVars BiSage::BuildNodeVars(
   if (layer == 0) {
     vars.h = tape.Leaf(h_table_.Row(node));
     vars.l = tape.Leaf(l_table_.Row(node));
-    leaves->emplace_back(node, vars);
   } else {
     const NodeVars self = BuildNodeVars(tape, graph, node, layer - 1, rng,
-                                        memo, leaves);
+                                        memo);
     const int fanout = config_.fanouts[config_.num_layers - layer];
     const std::vector<graph::Neighbor> sampled =
         config_.use_edge_weights ? graph.SampleNeighbors(node, fanout, rng)
@@ -152,7 +223,7 @@ BiSage::NodeVars BiSage::BuildNodeVars(
       neighbor_h.reserve(sampled.size());
       for (const graph::Neighbor& nb : sampled) {
         const NodeVars child = BuildNodeVars(tape, graph, nb.node, layer - 1,
-                                             rng, memo, leaves);
+                                             rng, memo);
         neighbor_l.push_back(child.l);
         neighbor_h.push_back(child.h);
       }
@@ -192,83 +263,164 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
       obs::MetricsRegistry::Get().GetHistogram("gem_bisage_epoch_seconds",
                                                obs::LatencyBuckets());
 
+  if (!config_status_.ok()) return config_status_;
   if (graph.num_nodes() == 0) {
     return Status::FailedPrecondition("graph is empty");
   }
+  // Everything lazily built that the parallel sections read must exist
+  // before the first worker touches it: node tables (EnsureCapacity),
+  // per-node alias samplers and the negative-sampling table
+  // (WarmCaches). After this, workers only read the graph.
   EnsureCapacity(graph, graph.num_nodes());
-  math::Rng rng(config_.seed);
+  graph.WarmCaches();
+  ThreadPool& pool = thread_pool();
 
-  // Generate the training pairs from weighted random walks: every
-  // consecutive (x, y) in a walk is a positive pair. Walks start from
-  // record nodes only — the loss of Equation (8) is symmetric in
-  // (x, y) and walks alternate sides, so every MAC node on a walk
-  // still contributes pairs, at half the walk budget.
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  // Walks start from record nodes only — the loss of Equation (8) is
+  // symmetric in (x, y) and walks alternate sides, so every MAC node
+  // on a walk still contributes pairs, at half the walk budget.
+  std::vector<graph::NodeId> starts;
   for (graph::NodeId node = 0; node < graph.num_nodes(); ++node) {
     if (graph.type(node) != graph::NodeType::kRecord) continue;
     if (graph.degree(node) == 0) continue;
-    for (int w = 0; w < config_.walks_per_node; ++w) {
-      walk_count.Increment();
-      std::vector<graph::NodeId> walk;
-      if (config_.use_edge_weights) {
-        walk = graph.RandomWalk(node, config_.walk_length, rng);
-      } else {
-        walk.push_back(node);
-        graph::NodeId current = node;
-        for (int step = 0; step < config_.walk_length; ++step) {
-          const auto& adj = graph.neighbors(current);
-          if (adj.empty()) break;
-          current = adj[rng.UniformInt(static_cast<int>(adj.size()))].node;
-          walk.push_back(current);
+    starts.push_back(node);
+  }
+  if (starts.empty()) {
+    return Status::FailedPrecondition("graph has no edges to walk");
+  }
+
+  // Generate the training pairs from weighted random walks: every
+  // consecutive (x, y) in a walk is a positive pair. Each chunk writes
+  // its own buffer; concatenating the buffers in chunk-index order
+  // yields the same pair list run-to-run. In deterministic mode each
+  // START NODE additionally draws from its own RNG stream, so the list
+  // is invariant to the chunking itself (= to the thread count).
+  std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>>
+      chunk_pairs(pool.num_threads());
+  pool.ParallelFor(
+      static_cast<long>(starts.size()),
+      [&](int chunk, long begin, long end) {
+        auto& out = chunk_pairs[chunk];
+        math::Rng chunk_rng(
+            math::Rng::StreamSeed(config_.seed ^ kWalkStreamSalt,
+                                  static_cast<uint64_t>(chunk)));
+        for (long i = begin; i < end; ++i) {
+          const graph::NodeId node = starts[i];
+          math::Rng node_rng(
+              math::Rng::StreamSeed(config_.seed ^ kWalkStreamSalt,
+                                    static_cast<uint64_t>(node)));
+          math::Rng& rng = config_.deterministic ? node_rng : chunk_rng;
+          for (int w = 0; w < config_.walks_per_node; ++w) {
+            std::vector<graph::NodeId> walk;
+            if (config_.use_edge_weights) {
+              walk = graph.RandomWalk(node, config_.walk_length, rng);
+            } else {
+              walk.push_back(node);
+              graph::NodeId current = node;
+              for (int step = 0; step < config_.walk_length; ++step) {
+                const auto& adj = graph.neighbors(current);
+                if (adj.empty()) break;
+                current =
+                    adj[rng.UniformInt(static_cast<int>(adj.size()))].node;
+                walk.push_back(current);
+              }
+            }
+            for (size_t j = 0; j + 1 < walk.size(); ++j) {
+              out.emplace_back(walk[j], walk[j + 1]);
+            }
+          }
         }
-      }
-      for (size_t i = 0; i + 1 < walk.size(); ++i) {
-        pairs.emplace_back(walk[i], walk[i + 1]);
-      }
-    }
+      });
+  walk_count.Increment(starts.size() *
+                       static_cast<size_t>(config_.walks_per_node));
+
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  size_t total_pairs = 0;
+  for (const auto& chunk : chunk_pairs) total_pairs += chunk.size();
+  pairs.reserve(total_pairs);
+  for (const auto& chunk : chunk_pairs) {
+    pairs.insert(pairs.end(), chunk.begin(), chunk.end());
   }
   if (pairs.empty()) {
     return Status::FailedPrecondition("graph has no edges to walk");
   }
   pair_count.Increment(pairs.size());
 
-  math::Tape tape;
+  // Gradient groups: a group builds its own tape (with its own
+  // neighborhood samples and negatives from its own RNG stream) and
+  // collects parameter gradients in a private sink; groups of one
+  // batch run in parallel and are folded into Parameter::grad in
+  // group-index order before the Adam step. In deterministic mode a
+  // group is a single training pair — the fold order is then the
+  // (shuffled) pair order, independent of the thread count. In default
+  // mode a group is one worker-chunk of the batch: fewer, bigger tapes
+  // that share a memo across the chunk's pairs, deterministic for a
+  // fixed num_threads.
+  uint64_t group_stream = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     const auto epoch_start = std::chrono::steady_clock::now();
-    rng.Shuffle(pairs);
+    math::Rng shuffle_rng(math::Rng::StreamSeed(
+        config_.seed ^ kShuffleStreamSalt, static_cast<uint64_t>(epoch)));
+    shuffle_rng.Shuffle(pairs);
     double epoch_loss = 0.0;
     long loss_terms = 0;
 
-    size_t index = 0;
-    while (index < pairs.size()) {
-      tape.Clear();
-      std::unordered_map<long, NodeVars> memo;
-      std::vector<std::pair<graph::NodeId, NodeVars>> leaves;
-      const size_t end = std::min(
-          pairs.size(), index + static_cast<size_t>(config_.batch_pairs));
-      for (; index < end; ++index) {
-        const auto [x, y] = pairs[index];
-        const NodeVars vx = BuildNodeVars(tape, graph, x, config_.num_layers,
-                                          rng, memo, &leaves);
-        const NodeVars vy = BuildNodeVars(tape, graph, y, config_.num_layers,
-                                          rng, memo, &leaves);
-        // Positive part of Equation (8).
-        epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.h, vy.l), +1.0);
-        epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.l, vy.h), +1.0);
-        loss_terms += 2;
-        // Negative part: K_N nodes drawn ~ deg^{3/4}.
-        for (int n = 0; n < config_.num_negatives; ++n) {
-          const graph::NodeId z = graph.SampleNegative(rng);
-          const NodeVars vz = BuildNodeVars(tape, graph, z,
-                                            config_.num_layers, rng, memo,
-                                            &leaves);
-          epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.h, vz.l), -1.0);
-          epoch_loss += tape.AddLogSigmoidLoss(tape.Dot(vx.l, vz.h), -1.0);
-          loss_terms += 2;
-        }
+    size_t batch_start = 0;
+    while (batch_start < pairs.size()) {
+      const long batch_size = static_cast<long>(
+          std::min(pairs.size() - batch_start,
+                   static_cast<size_t>(config_.batch_pairs)));
+      const long num_groups =
+          config_.deterministic
+              ? batch_size
+              : std::min<long>(pool.num_threads(), batch_size);
+      std::vector<GroupResult> groups(num_groups);
+      pool.ParallelForChunked(
+          num_groups, std::min<long>(pool.num_threads(), num_groups),
+          [&](int, long group_begin, long group_end) {
+            for (long g = group_begin; g < group_end; ++g) {
+              const auto [pair_begin, pair_end] =
+                  StaticChunkRange(batch_size, num_groups, g);
+              GroupResult& result = groups[g];
+              math::Tape tape;
+              std::unordered_map<long, NodeVars> memo;
+              math::Rng rng(math::Rng::StreamSeed(
+                  config_.seed ^ kGroupStreamSalt,
+                  group_stream + static_cast<uint64_t>(g)));
+              for (long p = pair_begin; p < pair_end; ++p) {
+                const auto [x, y] = pairs[batch_start + p];
+                const NodeVars vx = BuildNodeVars(
+                    tape, graph, x, config_.num_layers, rng, memo);
+                const NodeVars vy = BuildNodeVars(
+                    tape, graph, y, config_.num_layers, rng, memo);
+                // Positive part of Equation (8).
+                result.loss +=
+                    tape.AddLogSigmoidLoss(tape.Dot(vx.h, vy.l), +1.0);
+                result.loss +=
+                    tape.AddLogSigmoidLoss(tape.Dot(vx.l, vy.h), +1.0);
+                result.terms += 2;
+                // Negative part: K_N nodes drawn ~ deg^{3/4}.
+                for (int n = 0; n < config_.num_negatives; ++n) {
+                  const graph::NodeId z = graph.SampleNegative(rng);
+                  const NodeVars vz = BuildNodeVars(
+                      tape, graph, z, config_.num_layers, rng, memo);
+                  result.loss +=
+                      tape.AddLogSigmoidLoss(tape.Dot(vx.h, vz.l), -1.0);
+                  result.loss +=
+                      tape.AddLogSigmoidLoss(tape.Dot(vx.l, vz.h), -1.0);
+                  result.terms += 2;
+                }
+              }
+              tape.Backward(&result.sink);
+            }
+          });
+      for (GroupResult& result : groups) {
+        result.sink.FlushToParams();
+        epoch_loss += result.loss;
+        loss_terms += result.terms;
       }
-      tape.Backward();
       adam_->Step();
+      group_stream += static_cast<uint64_t>(num_groups);
+      batch_start += static_cast<size_t>(batch_size);
     }
     last_epoch_loss_ = epoch_loss / static_cast<double>(loss_terms);
     loss_gauge.Set(last_epoch_loss_);
@@ -354,9 +506,11 @@ BiSage::HL BiSage::InferNode(const graph::BipartiteGraph& graph,
 
 math::Vec BiSage::PrimaryEmbedding(const graph::BipartiteGraph& graph,
                                    graph::NodeId node) const {
+  GEM_CHECK(config_status_.ok());
   GEM_CHECK(node >= 0 && node < graph.num_nodes());
   EnsureCapacity(graph, graph.num_nodes());
-  // Per-node deterministic sampling stream so repeated queries agree.
+  // Per-node deterministic sampling stream so repeated queries agree
+  // (and so a batch of nodes embeds identically at any thread count).
   math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
                                 (static_cast<uint64_t>(node) + 1)));
   std::unordered_map<long, HL> memo;
@@ -365,6 +519,7 @@ math::Vec BiSage::PrimaryEmbedding(const graph::BipartiteGraph& graph,
 
 math::Vec BiSage::AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
                                      graph::NodeId node) const {
+  GEM_CHECK(config_status_.ok());
   GEM_CHECK(node >= 0 && node < graph.num_nodes());
   EnsureCapacity(graph, graph.num_nodes());
   math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
@@ -388,6 +543,7 @@ BiSage::TrainedState BiSage::ExportTrained() const {
 }
 
 Status BiSage::RestoreTrained(TrainedState state) {
+  if (!config_status_.ok()) return config_status_;
   const int d = config_.dimension;
   if (state.w_h.size() != w_h_.size() || state.w_l.size() != w_l_.size()) {
     return Status::InvalidArgument("bisage state: layer count mismatch");
@@ -467,16 +623,59 @@ Status BiSageEmbedder::RestoreFitted(graph::BipartiteGraph graph,
   return Status::Ok();
 }
 
-std::optional<math::Vec> BiSageEmbedder::EmbedNew(
-    const rf::ScanRecord& record) {
-  GEM_CHECK(model_.trained());
+StatusOr<math::Vec> BiSageEmbedder::EmbedNew(const rf::ScanRecord& record) {
+  if (!model_.trained()) {
+    return Status::FailedPrecondition("embedder is not trained");
+  }
   // Paper footnote 3: a record sharing no MAC with the graph is an
   // outlier outright (and per Section V-A the record is still added,
   // so its MACs become known for later arrivals).
   const bool connected = graph_.CountKnownMacs(record) > 0;
   const graph::NodeId node = graph_.AddRecord(record);
-  if (!connected) return std::nullopt;
+  if (!connected) {
+    return Status::NotFound("record shares no MAC with the graph");
+  }
   return model_.PrimaryEmbedding(graph_, node);
+}
+
+std::vector<StatusOr<math::Vec>> BiSageEmbedder::EmbedNewBatch(
+    const std::vector<rf::ScanRecord>& records) {
+  std::vector<StatusOr<math::Vec>> out;
+  out.reserve(records.size());
+  if (!model_.trained()) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      out.push_back(Status::FailedPrecondition("embedder is not trained"));
+    }
+    return out;
+  }
+  // Graph appends are serial and ordered (see header): each record's
+  // connectivity check sees every earlier record of the batch.
+  std::vector<graph::NodeId> nodes(records.size(), -1);
+  std::vector<char> connected(records.size(), 0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    connected[i] = graph_.CountKnownMacs(records[i]) > 0 ? 1 : 0;
+    nodes[i] = graph_.AddRecord(records[i]);
+  }
+  // Grow node tables + warm sampling caches before the read-only
+  // parallel section.
+  model_.PrepareInference(graph_);
+  std::vector<math::Vec> embeddings(records.size());
+  model_.thread_pool().ParallelFor(
+      static_cast<long>(records.size()), [&](int, long begin, long end) {
+        for (long i = begin; i < end; ++i) {
+          if (connected[i]) {
+            embeddings[i] = model_.PrimaryEmbedding(graph_, nodes[i]);
+          }
+        }
+      });
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (connected[i]) {
+      out.push_back(std::move(embeddings[i]));
+    } else {
+      out.push_back(Status::NotFound("record shares no MAC with the graph"));
+    }
+  }
+  return out;
 }
 
 }  // namespace gem::embed

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
+#include "base/thread_pool.h"
 #include "embed/embedder.h"
 #include "graph/bipartite_graph.h"
 #include "math/autograd.h"
@@ -35,7 +37,8 @@ struct BiSageConfig {
   int batch_pairs = 16;
   /// Per-layer sample sizes used at inference time. A value <= 0
   /// aggregates the FULL neighborhood with exact normalized weights —
-  /// deterministic, variance-free embeddings (the default).
+  /// deterministic, variance-free embeddings (the default). Empty
+  /// means "same as fanouts".
   std::vector<int> inference_fanouts = {0, 0};
   /// Ablation switch: false replaces the weight-proportional neighbor
   /// sampling, weighted aggregation coefficients, and weighted random
@@ -50,6 +53,22 @@ struct BiSageConfig {
   /// disable the filter.
   int min_mac_degree = 2;
   uint64_t seed = 13;
+  /// Worker threads used by Train() and batched inference. Runtime
+  /// knob only: it does not change the model and is not persisted in
+  /// snapshots.
+  int num_threads = 1;
+  /// When true, training draws every random walk from a per-node RNG
+  /// stream and reduces gradients one training pair at a time, so the
+  /// learned weights are bit-identical at ANY thread count (including
+  /// 1). When false (the default), randomness is per worker-chunk and
+  /// gradients reduce per chunk: still fully deterministic for a fixed
+  /// num_threads, and faster. Runtime knob only, not persisted.
+  bool deterministic = false;
+
+  /// kInvalidArgument describing the first offending field, Ok
+  /// otherwise. Checked by BiSage at construction (softly: Train()
+  /// reports it) and by Gem/serve at their entry points.
+  Status Validate() const;
 };
 
 /// BiSAGE: inductive bipartite network embedding with bi-level
@@ -66,11 +85,16 @@ struct BiSageConfig {
 /// new records (Section V-A) consistent with training.
 class BiSage {
  public:
+  /// An invalid config is held rather than CHECKed: Train() returns
+  /// config_status() so callers (CLI flags, service config) surface it
+  /// as kInvalidArgument instead of crashing.
   explicit BiSage(BiSageConfig config);
 
   /// Trains the weight matrices on the graph; the graph must contain
   /// at least one edge. Can be called again after the graph grows to
-  /// fine-tune (not required for inference).
+  /// fine-tune (not required for inference). Runs on
+  /// config().num_threads workers; see BiSageConfig::deterministic for
+  /// the reproducibility contract.
   Status Train(const graph::BipartiteGraph& graph);
 
   /// Primary embedding h^K of a node via K rounds of bi-level
@@ -84,10 +108,25 @@ class BiSage {
   math::Vec AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
                                graph::NodeId node) const;
 
+  /// Makes concurrent PrimaryEmbedding/AuxiliaryEmbedding calls over
+  /// `graph` safe: grows the node tables to cover the whole graph and
+  /// warms the graph's sampling caches, so the parallel reads that
+  /// follow touch no lazily-built state. Must be re-run after the
+  /// graph grows. Called by EmbedNewBatch; callers doing their own
+  /// fan-out call it once before spawning.
+  void PrepareInference(const graph::BipartiteGraph& graph) const;
+
   /// Mean training loss of the last epoch (diagnostic).
   double last_epoch_loss() const { return last_epoch_loss_; }
   const BiSageConfig& config() const { return config_; }
+  /// Result of config().Validate() at construction.
+  const Status& config_status() const { return config_status_; }
   bool trained() const { return trained_; }
+
+  /// The worker pool backing Train() and batched inference
+  /// (config().num_threads threads), created on first use and reused
+  /// across epochs and batches.
+  ThreadPool& thread_pool() const;
 
   /// Snapshot support (serve/snapshot.cc): everything Train() learned
   /// plus the lazily-grown node tables and their init stream, so a
@@ -114,18 +153,26 @@ class BiSage {
     math::VarId l;
   };
 
+  /// One parallel gradient group's output: a private gradient
+  /// accumulator plus its share of the loss, folded into the optimizer
+  /// serially in group-index order (the fixed fold order is what makes
+  /// the parallel epoch deterministic).
+  struct GroupResult {
+    math::ParamGradSink sink;
+    double loss = 0.0;
+    long terms = 0;
+  };
+
   /// Grows the fixed initial-embedding tables to cover node ids
   /// < count (random rows for MAC nodes, zero rows for record nodes).
   void EnsureCapacity(const graph::BipartiteGraph& graph, int count) const;
 
   /// Builds the (h^k, l^k) computation for `node` on the tape,
-  /// memoized per (node, layer) within the current batch.
+  /// memoized per (node, layer) within the current gradient group.
   NodeVars BuildNodeVars(math::Tape& tape,
                          const graph::BipartiteGraph& graph,
                          graph::NodeId node, int layer, math::Rng& rng,
-                         std::unordered_map<long, NodeVars>& memo,
-                         std::vector<std::pair<graph::NodeId, NodeVars>>*
-                             leaves) const;
+                         std::unordered_map<long, NodeVars>& memo) const;
 
   /// Inference-time (no-grad) forward pass, memoized.
   struct HL {
@@ -137,6 +184,7 @@ class BiSage {
                std::unordered_map<long, HL>& memo) const;
 
   BiSageConfig config_;
+  Status config_status_;
   // Fixed initial embeddings; mutable so inference can lazily append
   // rows for nodes that joined the graph after training.
   mutable math::Matrix h_table_;
@@ -149,6 +197,7 @@ class BiSage {
   std::vector<std::unique_ptr<math::Parameter>> w_h_;
   std::vector<std::unique_ptr<math::Parameter>> w_l_;
   std::unique_ptr<math::Adam> adam_;
+  mutable std::unique_ptr<ThreadPool> pool_;
   double last_epoch_loss_ = 0.0;
   bool trained_ = false;
 };
@@ -164,8 +213,19 @@ class BiSageEmbedder : public RecordEmbedder {
   Status Fit(const std::vector<rf::ScanRecord>& train) override;
   math::Vec TrainEmbedding(int i) const override;
   int num_train() const override { return num_train_; }
-  std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
+  StatusOr<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
   int dimension() const override { return model_.config().dimension; }
+
+  /// Batched EmbedNew on the model's thread pool. All records are
+  /// appended to the graph first, in input order (so each record's
+  /// connectivity check sees every earlier record of the batch, same
+  /// as sequential EmbedNew calls), then embedded in parallel against
+  /// the batch-complete graph. Per-node RNG streams make the result
+  /// bit-identical at any thread count. Slot i carries record i's
+  /// embedding, kNotFound (no shared MAC), or kFailedPrecondition
+  /// (model not trained).
+  std::vector<StatusOr<math::Vec>> EmbedNewBatch(
+      const std::vector<rf::ScanRecord>& records);
 
   const graph::BipartiteGraph& graph() const { return graph_; }
   BiSage& model() { return model_; }

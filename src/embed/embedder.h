@@ -1,10 +1,10 @@
 #ifndef GEM_EMBED_EMBEDDER_H_
 #define GEM_EMBED_EMBEDDER_H_
 
-#include <optional>
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "math/vec.h"
 #include "rf/types.h"
 
@@ -31,10 +31,11 @@ class RecordEmbedder {
 
   /// Embeds a new record (inductive / out-of-sample). Implementations
   /// may update internal state (BiSAGE adds the record to its graph).
-  /// Returns nullopt when the record cannot be embedded at all — e.g.
-  /// it shares no MAC with anything seen before — which GEM treats as
-  /// an outright outlier (paper footnote 3).
-  virtual std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) = 0;
+  /// Returns kNotFound when the record cannot be embedded at all —
+  /// e.g. it shares no MAC with anything seen before — which GEM
+  /// treats as an outright outlier (paper footnote 3), and
+  /// kFailedPrecondition when called before a successful Fit().
+  virtual StatusOr<math::Vec> EmbedNew(const rf::ScanRecord& record) = 0;
 
   /// Embedding dimensionality.
   virtual int dimension() const = 0;

@@ -247,12 +247,16 @@ math::Vec GraphSageEmbedder::TrainEmbedding(int i) const {
   return model_.Embedding(graph_, train_nodes_[i]);
 }
 
-std::optional<math::Vec> GraphSageEmbedder::EmbedNew(
+StatusOr<math::Vec> GraphSageEmbedder::EmbedNew(
     const rf::ScanRecord& record) {
-  GEM_CHECK(model_.trained());
+  if (!model_.trained()) {
+    return Status::FailedPrecondition("embedder is not trained");
+  }
   const bool connected = graph_.CountKnownMacs(record) > 0;
   const graph::NodeId node = graph_.AddRecord(record);
-  if (!connected) return std::nullopt;
+  if (!connected) {
+    return Status::NotFound("record shares no MAC with the graph");
+  }
   return model_.Embedding(graph_, node);
 }
 

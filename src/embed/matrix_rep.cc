@@ -76,9 +76,11 @@ math::Vec RawVectorEmbedder::TrainEmbedding(int i) const {
   return train_embeddings_[i];
 }
 
-std::optional<math::Vec> RawVectorEmbedder::EmbedNew(
+StatusOr<math::Vec> RawVectorEmbedder::EmbedNew(
     const rf::ScanRecord& record) {
-  if (vocab_.CountKnownMacs(record) == 0) return std::nullopt;
+  if (vocab_.CountKnownMacs(record) == 0) {
+    return Status::NotFound("record shares no MAC with the vocabulary");
+  }
   return vocab_.ToDenseNormalized(record, pad_dbm_);
 }
 

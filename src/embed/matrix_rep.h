@@ -60,7 +60,7 @@ class RawVectorEmbedder : public RecordEmbedder {
   Status Fit(const std::vector<rf::ScanRecord>& train) override;
   math::Vec TrainEmbedding(int i) const override;
   int num_train() const override { return num_train_; }
-  std::optional<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
+  StatusOr<math::Vec> EmbedNew(const rf::ScanRecord& record) override;
   int dimension() const override { return vocab_.size(); }
 
   const MacVocabulary& vocabulary() const { return vocab_; }

@@ -86,9 +86,13 @@ math::Vec MdsEmbedder::TrainEmbedding(int i) const {
   return train_embeddings_.Row(i);
 }
 
-std::optional<math::Vec> MdsEmbedder::EmbedNew(const rf::ScanRecord& record) {
-  GEM_CHECK(num_train_ > 0);
-  if (vocab_.CountKnownMacs(record) == 0) return std::nullopt;
+StatusOr<math::Vec> MdsEmbedder::EmbedNew(const rf::ScanRecord& record) {
+  if (num_train_ <= 0) {
+    return Status::FailedPrecondition("embedder is not trained");
+  }
+  if (vocab_.CountKnownMacs(record) == 0) {
+    return Status::NotFound("record shares no MAC with the vocabulary");
+  }
   const math::Vec dense = vocab_.ToDenseNormalized(record, config_.pad_dbm);
 
   // Landmark-MDS projection (de Silva & Tenenbaum): with delta the

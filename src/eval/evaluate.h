@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/statusor.h"
 #include "core/geofence.h"
 #include "math/metrics.h"
 #include "math/stats.h"

@@ -175,22 +175,32 @@ std::vector<NodeId> BipartiteGraph::RandomWalk(NodeId start, int length,
   return walk;
 }
 
+void BipartiteGraph::WarmCaches() const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (!adjacency_[id].empty()) NeighborSampler(id);
+  }
+  if (num_nodes() > 0) BuildNegativeSampler();
+}
+
+void BipartiteGraph::BuildNegativeSampler() const {
+  if (negative_sampler_ && negative_sampler_nodes_ == num_nodes()) return;
+  math::Vec weights(num_nodes());
+  for (int i = 0; i < num_nodes(); ++i) {
+    weights[i] = std::pow(static_cast<double>(adjacency_[i].size()), 0.75);
+  }
+  // An all-isolated graph degenerates to uniform sampling.
+  bool any = false;
+  for (double w : weights) any |= w > 0.0;
+  if (!any) {
+    for (double& w : weights) w = 1.0;
+  }
+  negative_sampler_ = std::make_unique<math::AliasSampler>(weights);
+  negative_sampler_nodes_ = num_nodes();
+}
+
 NodeId BipartiteGraph::SampleNegative(math::Rng& rng) const {
   GEM_CHECK(num_nodes() > 0);
-  if (!negative_sampler_ || negative_sampler_nodes_ != num_nodes()) {
-    math::Vec weights(num_nodes());
-    for (int i = 0; i < num_nodes(); ++i) {
-      weights[i] = std::pow(static_cast<double>(adjacency_[i].size()), 0.75);
-    }
-    // An all-isolated graph degenerates to uniform sampling.
-    bool any = false;
-    for (double w : weights) any |= w > 0.0;
-    if (!any) {
-      for (double& w : weights) w = 1.0;
-    }
-    negative_sampler_ = std::make_unique<math::AliasSampler>(weights);
-    negative_sampler_nodes_ = num_nodes();
-  }
+  BuildNegativeSampler();
   return negative_sampler_->Sample(rng);
 }
 

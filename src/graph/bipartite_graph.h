@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "graph/edge_weight.h"
 #include "math/alias_sampler.h"
 #include "math/rng.h"
@@ -77,6 +78,14 @@ class BipartiteGraph {
   /// (negative sampling distribution of Equation (8)).
   NodeId SampleNegative(math::Rng& rng) const;
 
+  /// Builds every lazily-cached sampling structure (per-node alias
+  /// tables and the negative-sampling table) up front. SampleNeighbors
+  /// / RandomWalk / SampleNegative mutate those caches on first use, so
+  /// they are only safe to call from multiple threads concurrently
+  /// after WarmCaches() has run — and only until the next AddRecord,
+  /// which invalidates the touched nodes' caches.
+  void WarmCaches() const;
+
   const EdgeWeightConfig& weight_config() const { return weight_config_; }
 
   /// MAC string -> NodeId index (snapshot support; iteration order is
@@ -97,6 +106,7 @@ class BipartiteGraph {
  private:
   void InvalidateCaches(NodeId id);
   const math::AliasSampler& NeighborSampler(NodeId id) const;
+  void BuildNegativeSampler() const;
 
   EdgeWeightConfig weight_config_;
   std::vector<NodeType> types_;

@@ -21,6 +21,20 @@ double SigmoidScalar(double z) {
 
 }  // namespace
 
+Matrix& ParamGradSink::GradFor(Parameter* param) {
+  for (auto& [p, grad] : grads_) {
+    if (p == param) return grad;
+  }
+  grads_.emplace_back(param, Matrix(param->value.rows(), param->value.cols()));
+  return grads_.back().second;
+}
+
+void ParamGradSink::FlushToParams() const {
+  for (const auto& [param, grad] : grads_) {
+    param->grad.AddScaled(grad, 1.0);
+  }
+}
+
 void Tape::Clear() {
   nodes_.clear();
   log_sigmoid_terms_.clear();
@@ -166,7 +180,7 @@ const Vec& Tape::grad(VarId id) const {
   return nodes_[id].grad;
 }
 
-void Tape::Backward() {
+void Tape::Backward(ParamGradSink* sink) {
   // Seed gradients from the loss terms.
   for (const LogSigmoidTerm& t : log_sigmoid_terms_) {
     const double s = nodes_[t.var].value[0];
@@ -199,7 +213,8 @@ void Tape::Backward() {
       case Op::kMatVec: {
         // y = W x:  dW += g outer x,  dx += W^T g.
         const Vec& x = nodes_[n.a].value;
-        n.param->grad.AddOuter(n.grad, x, 1.0);
+        Matrix& dw = sink ? sink->GradFor(n.param) : n.param->grad;
+        dw.AddOuter(n.grad, x, 1.0);
         const Vec gx = n.param->value.MatTVec(n.grad);
         AddScaled(nodes_[n.a].grad, gx, 1.0);
         break;

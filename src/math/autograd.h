@@ -24,6 +24,32 @@ class Parameter {
 /// Handle to a vector-valued node on a Tape.
 using VarId = int;
 
+/// Private gradient accumulator for Parameters. Backward(&sink) writes
+/// parameter gradients here instead of the shared Parameter::grad, so
+/// several threads can each run Backward on their own Tape + sink with
+/// no write to shared state; the caller then folds the sinks into
+/// Parameter::grad serially, in a fixed order, via FlushToParams()
+/// (floating-point addition is not associative, so the fold order is
+/// what makes the parallel loss gradient deterministic).
+class ParamGradSink {
+ public:
+  /// This sink's buffer for param, zero-initialized to param's shape on
+  /// first use.
+  Matrix& GradFor(Parameter* param);
+
+  /// Adds every buffered gradient into its Parameter::grad, in the
+  /// order the parameters were first seen by this sink.
+  void FlushToParams() const;
+
+  /// Drops all buffers (keeps nothing allocated).
+  void Clear() { grads_.clear(); }
+
+  bool empty() const { return grads_.empty(); }
+
+ private:
+  std::vector<std::pair<Parameter*, Matrix>> grads_;
+};
+
 /// Minimal reverse-mode automatic differentiation over vector-valued
 /// nodes. Supports exactly the operations the GEM models need: matrix-
 /// vector products against Parameters, concatenation, convex/weighted
@@ -82,7 +108,12 @@ class Tape {
   double loss() const { return loss_; }
 
   /// Runs reverse-mode accumulation from all attached loss terms.
-  void Backward();
+  /// With a sink, parameter gradients go to sink->GradFor(param)
+  /// instead of Parameter::grad (Parameter::value is only read), which
+  /// is what makes concurrent Backward calls over shared Parameters
+  /// safe; node gradients always stay on this tape either way.
+  void Backward() { Backward(nullptr); }
+  void Backward(ParamGradSink* sink);
 
   const Vec& value(VarId id) const;
   const Vec& grad(VarId id) const;

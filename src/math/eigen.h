@@ -2,6 +2,7 @@
 #define GEM_MATH_EIGEN_H_
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "math/matrix.h"
 #include "math/vec.h"
 

@@ -78,6 +78,14 @@ bool Rng::Bernoulli(double p) { return UniformUnit() < p; }
 
 Rng Rng::Split() { return Rng(Next()); }
 
+uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
+  // Mix the stream id through one SplitMix64 round keyed off the root
+  // seed; the golden-ratio multiplier decorrelates consecutive stream
+  // ids before the avalanche.
+  uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x6A09E667F3BCC909ULL);
+  return SplitMix64(state);
+}
+
 Rng::State Rng::SaveState() const {
   State state;
   for (int i = 0; i < 4; ++i) state.words[i] = state_[i];

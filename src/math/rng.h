@@ -51,6 +51,15 @@ class Rng {
   /// simulated user / repeat its own deterministic stream).
   Rng Split();
 
+  /// Derives the seed of an independent stream `stream` of a logical
+  /// generator family rooted at `seed` — the stream-splitting scheme
+  /// parallel code uses to give each chunk / node / example its own
+  /// deterministic generator without sharing any mutable state
+  /// (an Rng(StreamSeed(s, a)) never correlates with
+  /// Rng(StreamSeed(s, b)) for a != b: both words pass through
+  /// SplitMix64's full avalanche).
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream);
+
   /// Complete generator state, exposed so model snapshots can persist
   /// mid-stream generators and resume them bit-identically.
   struct State {

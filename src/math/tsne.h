@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "math/matrix.h"
 #include "math/rng.h"
 #include "math/vec.h"

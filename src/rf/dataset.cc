@@ -1,6 +1,9 @@
 #include "rf/dataset.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -79,6 +82,24 @@ Dataset GenerateScenarioDataset(const ScenarioConfig& scenario,
   const Environment env = BuildEnvironment(scenario);
   const PropagationModel model(&env, prop);
   return GenerateDataset(env, model, options);
+}
+
+std::vector<Dataset> GenerateScenarioDatasets(
+    const std::vector<ScenarioJob>& jobs, int num_threads) {
+  GEM_TRACE_SPAN("rf.generate_batch");
+  std::vector<Dataset> datasets(jobs.size());
+  ThreadPool pool(std::max(1, num_threads));
+  // Each job owns its environment, model, and RNG (seeded from its
+  // options), so parallel jobs share nothing and slot i is the same
+  // dataset the sequential loop would produce.
+  pool.ParallelFor(static_cast<long>(jobs.size()),
+                   [&](int, long begin, long end) {
+                     for (long i = begin; i < end; ++i) {
+                       datasets[i] = GenerateScenarioDataset(
+                           jobs[i].scenario, jobs[i].options, jobs[i].prop);
+                     }
+                   });
+  return datasets;
 }
 
 }  // namespace gem::rf

@@ -59,6 +59,20 @@ Dataset GenerateScenarioDataset(const ScenarioConfig& scenario,
                                 const DatasetOptions& options,
                                 PropagationConfig prop = {});
 
+/// Generates one dataset per (scenario, options) job on `num_threads`
+/// workers. Each job is independent and fully seeded by its own
+/// options, so the output is bit-identical to the sequential
+/// GenerateScenarioDataset loop at any thread count; slot i holds
+/// job i's dataset. The multi-home benchmarks use this to amortize
+/// simulation across cores.
+struct ScenarioJob {
+  ScenarioConfig scenario;
+  DatasetOptions options;
+  PropagationConfig prop;
+};
+std::vector<Dataset> GenerateScenarioDatasets(
+    const std::vector<ScenarioJob>& jobs, int num_threads = 1);
+
 }  // namespace gem::rf
 
 #endif  // GEM_RF_DATASET_H_

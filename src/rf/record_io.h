@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "rf/types.h"
 
 namespace gem::rf {

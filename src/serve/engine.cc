@@ -43,11 +43,19 @@ struct EngineMetrics {
 
 }  // namespace
 
+Status EngineOptions::Validate() const {
+  const Status pool_status = ThreadPoolOptions{num_threads}.Validate();
+  if (!pool_status.ok()) return pool_status;
+  if (max_queue_depth < 1) {
+    return Status::InvalidArgument("engine max_queue_depth must be >= 1");
+  }
+  return Status::Ok();
+}
+
 Engine::Engine(FenceRegistry* registry, EngineOptions options)
     : registry_(registry), options_(options) {
   GEM_CHECK(registry_ != nullptr);
-  GEM_CHECK(options_.num_threads >= 1);
-  GEM_CHECK(options_.max_queue_depth >= 1);
+  GEM_CHECK(options_.Validate().ok());
   EngineMetrics::Get();  // resolve metric handles off the hot path
   workers_.reserve(options_.num_threads);
   for (int i = 0; i < options_.num_threads; ++i) {
@@ -56,6 +64,16 @@ Engine::Engine(FenceRegistry* registry, EngineOptions options)
 }
 
 Engine::~Engine() { Shutdown(); }
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(FenceRegistry* registry,
+                                                 EngineOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("engine needs a fence registry");
+  }
+  const Status status = options.Validate();
+  if (!status.ok()) return status;
+  return std::make_unique<Engine>(registry, options);
+}
 
 Status Engine::Submit(ServeRequest request, Callback done) {
   EngineMetrics& metrics = EngineMetrics::Get();
@@ -94,6 +112,46 @@ ServeResponse Engine::InferBlocking(ServeRequest request) {
     return response;
   }
   return future.get();
+}
+
+BatchServeResponse Engine::InferBatch(
+    const std::string& fence_id, const std::vector<rf::ScanRecord>& records) {
+  GEM_TRACE_SPAN("serve.infer_batch");
+  EngineMetrics& metrics = EngineMetrics::Get();
+  BatchServeResponse response;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutting_down_) {
+      metrics.rejected_shutdown.Increment();
+      response.status = Status::FailedPrecondition("engine is shut down");
+      return response;
+    }
+  }
+
+  std::shared_ptr<Fence> fence = registry_->Find(fence_id);
+  if (!fence) {
+    metrics.fence_not_found.Increment();
+    response.status =
+        Status::NotFound("fence '" + fence_id + "' is not loaded");
+    return response;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    // One fence-serialized section for the whole batch; the embedding
+    // stage inside fans out on the model's own thread pool.
+    std::lock_guard model_lock(fence->mutex);
+    response.results = fence->gem.InferBatch(records);
+  }
+  metrics.infer_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  for (const core::InferenceResult& result : response.results) {
+    if (result.model_updated) metrics.absorbed.Increment();
+  }
+  response.status = Status::Ok();
+  response.fence_generation = fence->generation;
+  return response;
 }
 
 void Engine::Shutdown() {

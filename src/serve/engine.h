@@ -6,12 +6,15 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
+#include "base/thread_pool.h"
 #include "core/geofence.h"
 #include "rf/types.h"
 #include "serve/fence_registry.h"
@@ -25,6 +28,10 @@ struct EngineOptions {
   /// immediately with kUnavailable (backpressure — the caller sheds or
   /// retries, the server never buffers unboundedly).
   size_t max_queue_depth = 256;
+
+  /// kInvalidArgument unless 1 <= num_threads <= the thread-pool
+  /// maximum and max_queue_depth >= 1.
+  Status Validate() const;
 };
 
 /// One in-out query against a loaded fence.
@@ -40,6 +47,13 @@ struct ServeResponse {
   core::InferenceResult result;
   /// Registry generation of the model that served the request (0 when
   /// status is not OK) — lets callers observe live reloads.
+  uint64_t fence_generation = 0;
+};
+
+/// Response of a batched query: `results[i]` answers `records[i]`.
+struct BatchServeResponse {
+  Status status;
+  std::vector<core::InferenceResult> results;
   uint64_t fence_generation = 0;
 };
 
@@ -60,12 +74,19 @@ class Engine {
  public:
   using Callback = std::function<void(ServeResponse)>;
 
+  /// The options must be valid (GEM_CHECKed); use Create() to surface
+  /// user-supplied sizes softly.
   explicit Engine(FenceRegistry* registry, EngineOptions options = {});
   /// Drains the queue and joins the workers.
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Validates the options and builds the engine (kInvalidArgument on
+  /// a bad --threads / queue-depth value instead of crashing).
+  static StatusOr<std::unique_ptr<Engine>> Create(FenceRegistry* registry,
+                                                  EngineOptions options);
 
   /// Enqueues the request; `done` runs on a worker thread. Returns
   /// kUnavailable when the queue is full and kFailedPrecondition after
@@ -74,6 +95,16 @@ class Engine {
 
   /// Submit + block for the response (CLI / test convenience).
   ServeResponse InferBlocking(ServeRequest request);
+
+  /// Batched inference against one fence, run synchronously on the
+  /// calling thread (it does not pass through the request queue). The
+  /// fence is locked once for the whole batch — one tenant's batch is
+  /// a single serialized unit, exactly like a run of queued requests —
+  /// and the model parallelizes the embedding stage internally on its
+  /// own pool (see Gem::InferBatch). kNotFound when the fence is not
+  /// loaded, kFailedPrecondition after Shutdown.
+  BatchServeResponse InferBatch(const std::string& fence_id,
+                                const std::vector<rf::ScanRecord>& records);
 
   /// Stops intake, drains already-admitted requests, joins workers.
   /// Idempotent.

@@ -66,7 +66,7 @@ Result<uint64_t> FenceRegistry::Install(const std::string& fence_id,
 
 Result<uint64_t> FenceRegistry::InstallFromSnapshot(
     const std::string& fence_id, const std::string& path) {
-  Result<core::Gem> gem = LoadSnapshot(path);
+  StatusOr<core::Gem> gem = LoadSnapshot(path);
   if (!gem.ok()) return gem.status();
   return Install(fence_id, std::move(gem).value());
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "core/gem.h"
 
 namespace gem::serve {

@@ -132,8 +132,8 @@ Status DecodeConfig(std::string_view payload, core::GemConfig* out) {
   b.use_edge_weights = flag != 0;
   if (!(status = r.GetI32(&b.min_mac_degree)).ok()) return status;
   if (!(status = r.GetU64(&b.seed)).ok()) return status;
-  // The BiSage constructor enforces these with GEM_CHECK (programmer
-  // error); from persisted bytes they must fail soft instead.
+  // Basic plausibility bounds on persisted bytes; full semantic
+  // validation (BiSageConfig::Validate) runs in Gem::FromParts.
   if (b.dimension < 1 || b.dimension > 65536) {
     return Status::InvalidArgument("config: implausible embedding dimension");
   }
@@ -408,7 +408,7 @@ Status SaveSnapshot(const std::string& path, const core::Gem& gem) {
   return Status::Ok();
 }
 
-Result<core::Gem> LoadSnapshot(const std::string& path) {
+StatusOr<core::Gem> LoadSnapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     return Status::NotFound("cannot open " + path);

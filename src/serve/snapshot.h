@@ -4,6 +4,7 @@
 #include <string>
 
 #include "base/status.h"
+#include "base/statusor.h"
 #include "core/gem.h"
 
 namespace gem::serve {
@@ -37,7 +38,7 @@ Status SaveSnapshot(const std::string& path, const core::Gem& gem);
 /// file is missing, DataLoss on truncation/corruption, and
 /// InvalidArgument on future versions or semantically inconsistent
 /// state; never crashes on hostile bytes.
-Result<core::Gem> LoadSnapshot(const std::string& path);
+StatusOr<core::Gem> LoadSnapshot(const std::string& path);
 
 }  // namespace gem::serve
 

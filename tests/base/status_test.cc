@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "base/statusor.h"
+
 namespace gem {
 namespace {
 
@@ -28,34 +30,56 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
 }
 
-TEST(ResultTest, HoldsValue) {
-  Result<int> result(42);
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
   EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.code(), StatusCode::kOk);
 }
 
-TEST(ResultTest, HoldsStatus) {
-  Result<int> result(Status::NotFound("gone"));
+TEST(StatusOrTest, HoldsStatus) {
+  StatusOr<int> result(Status::NotFound("gone"));
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "gone");
 }
 
-TEST(ResultTest, MoveOutValue) {
-  Result<std::string> result(std::string("payload"));
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
   ASSERT_TRUE(result.ok());
   const std::string moved = std::move(result).value();
   EXPECT_EQ(moved, "payload");
 }
 
-TEST(ResultTest, ImplicitConversionsAtReturn) {
-  auto make = [](bool good) -> Result<double> {
+TEST(StatusOrTest, ValueOrFallsBack) {
+  EXPECT_EQ(StatusOr<int>(7).value_or(-1), 7);
+  EXPECT_EQ(StatusOr<int>(Status::Internal("boom")).value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ArrowReachesMembers) {
+  StatusOr<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(StatusOrTest, ImplicitConversionsAtReturn) {
+  auto make = [](bool good) -> StatusOr<double> {
     if (good) return 1.5;
     return Status::Internal("boom");
   };
   EXPECT_TRUE(make(true).ok());
   EXPECT_DOUBLE_EQ(make(true).value(), 1.5);
   EXPECT_FALSE(make(false).ok());
+}
+
+TEST(StatusOrTest, ResultAliasStillCompiles) {
+  // Result<T> is the historical name, kept as an alias during the
+  // StatusOr migration.
+  Result<int> result(3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 3);
 }
 
 }  // namespace

@@ -117,7 +117,7 @@ TEST(GemTest, StageMethodsComposeLikeInfer) {
     const rf::ScanRecord& record = data.test[i];
     const auto embedding = staged.EmbedRecord(record);
     const InferenceResult via_infer = direct.Infer(record);
-    if (!embedding.has_value()) {
+    if (!embedding.ok()) {
       EXPECT_EQ(via_infer.decision, Decision::kOutside);
       continue;
     }

@@ -73,7 +73,7 @@ TEST(AutoencoderTest, EmbedNewMatchesTrainPath) {
   ASSERT_TRUE(embedder.Fit(data.records).ok());
   // Embedding the exact training record again gives the same code.
   const auto e = embedder.EmbedNew(data.records[0]);
-  ASSERT_TRUE(e.has_value());
+  ASSERT_TRUE(e.ok());
   const math::Vec t = embedder.TrainEmbedding(0);
   for (size_t k = 0; k < t.size(); ++k) EXPECT_DOUBLE_EQ((*e)[k], t[k]);
 }
@@ -84,7 +84,7 @@ TEST(AutoencoderTest, UnknownOnlyRecordUnembeddable) {
   ASSERT_TRUE(embedder.Fit(data.records).ok());
   rf::ScanRecord alien;
   alien.readings.push_back(rf::Reading{"xyz", -60.0, rf::Band::k2_4GHz});
-  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+  EXPECT_FALSE(embedder.EmbedNew(alien).ok());
 }
 
 }  // namespace

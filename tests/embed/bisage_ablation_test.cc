@@ -75,8 +75,8 @@ TEST(BiSageAblationTest, SingletonMacsDoNotPerturbEmbeddings) {
   ASSERT_TRUE(fresh.Fit(data.records).ok());
   const auto e_clean = embedder.EmbedNew(clean);
   const auto e_noisy = fresh.EmbedNew(noisy);
-  ASSERT_TRUE(e_clean.has_value());
-  ASSERT_TRUE(e_noisy.has_value());
+  ASSERT_TRUE(e_clean.ok());
+  ASSERT_TRUE(e_noisy.ok());
   for (size_t k = 0; k < e_clean->size(); ++k) {
     EXPECT_DOUBLE_EQ((*e_clean)[k], (*e_noisy)[k]) << "dim " << k;
   }
@@ -113,8 +113,8 @@ TEST(BiSageAblationTest, PostTrainingMacsExcludedFromAggregation) {
 
   const auto e1 = with_new.EmbedNew(probe_with_new_ap);
   const auto e2 = without_new.EmbedNew(probe);
-  ASSERT_TRUE(e1.has_value());
-  ASSERT_TRUE(e2.has_value());
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
   for (size_t k = 0; k < e1->size(); ++k) {
     EXPECT_DOUBLE_EQ((*e1)[k], (*e2)[k]) << "dim " << k;
   }

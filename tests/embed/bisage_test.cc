@@ -97,7 +97,7 @@ TEST(BiSageTest, InductiveEmbeddingLandsNearItsCluster) {
   const rf::ScanRecord fresh = testing::NoisyRecord(
       {"a0", "a1", "a2", "a3", "a4"}, {"s0"}, rng);
   const auto embedding = embedder.EmbedNew(fresh);
-  ASSERT_TRUE(embedding.has_value());
+  ASSERT_TRUE(embedding.ok());
 
   double dist_a = 0.0;
   double dist_b = 0.0;
@@ -119,14 +119,14 @@ TEST(BiSageTest, UnknownMacsOnlyRecordIsUnembeddable) {
                                        rf::Band::k2_4GHz});
   alien.readings.push_back(rf::Reading{"never-seen-2", -70.0,
                                        rf::Band::k2_4GHz});
-  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+  EXPECT_FALSE(embedder.EmbedNew(alien).ok());
 
   // Its MACs are now known (the record joined the graph), so a second
   // record sharing them becomes embeddable.
   rf::ScanRecord follower;
   follower.readings.push_back(rf::Reading{"never-seen-1", -62.0,
                                           rf::Band::k2_4GHz});
-  EXPECT_TRUE(embedder.EmbedNew(follower).has_value());
+  EXPECT_TRUE(embedder.EmbedNew(follower).ok());
 }
 
 TEST(BiSageTest, AuxiliaryDiffersFromPrimary) {
@@ -143,7 +143,14 @@ TEST(BiSageTest, AuxiliaryDiffersFromPrimary) {
 TEST(BiSageTest, ConfigValidation) {
   BiSageConfig config;
   config.fanouts = {5};  // must match num_layers = 2
-  EXPECT_DEATH(BiSage model(config), "fanouts");
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  // Construction soft-fails: the model is inert and Train reports the
+  // validation error instead of crashing.
+  BiSage model(config);
+  EXPECT_EQ(model.config_status().code(), StatusCode::kInvalidArgument);
+  graph::BipartiteGraph graph;
+  EXPECT_EQ(model.Train(graph).code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -71,7 +71,7 @@ TEST(GraphSageTest, InductiveEmbedding) {
   math::Rng rng(42);
   const auto e = embedder.EmbedNew(
       testing::NoisyRecord({"a0", "a1", "a2"}, {}, rng));
-  ASSERT_TRUE(e.has_value());
+  ASSERT_TRUE(e.ok());
   EXPECT_EQ(static_cast<int>(e->size()), embedder.dimension());
 }
 
@@ -81,7 +81,7 @@ TEST(GraphSageTest, UnknownOnlyRecordUnembeddable) {
   ASSERT_TRUE(embedder.Fit(data.records).ok());
   rf::ScanRecord alien;
   alien.readings.push_back(rf::Reading{"xyz", -60.0, rf::Band::k2_4GHz});
-  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+  EXPECT_FALSE(embedder.EmbedNew(alien).ok());
 }
 
 }  // namespace

@@ -60,10 +60,10 @@ TEST(RawVectorEmbedderTest, FitAndEmbed) {
   EXPECT_EQ(embedder.TrainEmbedding(0).size(), 3u);
 
   const auto e = embedder.EmbedNew(MakeRecord({{"c", -40}}));
-  ASSERT_TRUE(e.has_value());
+  ASSERT_TRUE(e.ok());
   EXPECT_EQ(e->size(), 3u);
 
-  EXPECT_FALSE(embedder.EmbedNew(MakeRecord({{"zz", -40}})).has_value());
+  EXPECT_FALSE(embedder.EmbedNew(MakeRecord({{"zz", -40}})).ok());
 }
 
 TEST(RawVectorEmbedderTest, RejectsEmptyTraining) {

@@ -52,7 +52,7 @@ TEST(MdsTest, NystromProjectionConsistentWithTraining) {
   ASSERT_TRUE(embedder.Fit(data.records).ok());
 
   const auto projected = embedder.EmbedNew(data.records[4]);
-  ASSERT_TRUE(projected.has_value());
+  ASSERT_TRUE(projected.ok());
   const math::Vec original = embedder.TrainEmbedding(4);
 
   double min_other = 1e18;
@@ -70,7 +70,7 @@ TEST(MdsTest, UnknownOnlyRecordUnembeddable) {
   ASSERT_TRUE(embedder.Fit(data.records).ok());
   rf::ScanRecord alien;
   alien.readings.push_back(rf::Reading{"xyz", -60.0, rf::Band::k2_4GHz});
-  EXPECT_FALSE(embedder.EmbedNew(alien).has_value());
+  EXPECT_FALSE(embedder.EmbedNew(alien).ok());
 }
 
 }  // namespace

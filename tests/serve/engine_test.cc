@@ -289,5 +289,69 @@ TEST_F(ServeTest, UnloadDuringTrafficFinishesInFlight) {
   EXPECT_EQ(ok_or_notfound.load(), 100);
 }
 
+TEST_F(ServeTest, InferBatchMatchesSequentialServes) {
+  FenceRegistry registry;
+  ASSERT_TRUE(registry.Install("batch", LoadModel()).ok());
+  ASSERT_TRUE(registry.Install("serial", LoadModel()).ok());
+  Engine engine(&registry, EngineOptions{2, 16});
+
+  const std::vector<rf::ScanRecord> records(dataset_->test.begin(),
+                                            dataset_->test.end());
+  const BatchServeResponse batch = engine.InferBatch("batch", records);
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  ASSERT_EQ(batch.results.size(), records.size());
+  EXPECT_EQ(batch.fence_generation, 1u);
+
+  // One-at-a-time serving against an identically seeded fence must see
+  // the same scores: the batch path is an optimization, not a
+  // semantics change.
+  for (size_t i = 0; i < records.size(); ++i) {
+    ServeRequest request;
+    request.fence_id = "serial";
+    request.record = records[i];
+    const ServeResponse one = engine.InferBlocking(std::move(request));
+    ASSERT_TRUE(one.status.ok());
+    EXPECT_EQ(batch.results[i].score, one.result.score) << "record " << i;
+    EXPECT_EQ(batch.results[i].decision, one.result.decision);
+  }
+  engine.Shutdown();
+}
+
+TEST_F(ServeTest, InferBatchReportsMissingFenceAndShutdown) {
+  FenceRegistry registry;
+  Engine engine(&registry, EngineOptions{1, 4});
+  const std::vector<rf::ScanRecord> records(2);
+
+  const BatchServeResponse missing = engine.InferBatch("ghost", records);
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(missing.results.empty());
+
+  engine.Shutdown();
+  const BatchServeResponse down = engine.InferBatch("ghost", records);
+  EXPECT_EQ(down.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, ConcurrentBatchesAgainstOneFenceStaySerialized) {
+  FenceRegistry registry;
+  ASSERT_TRUE(registry.Install("home", LoadModel()).ok());
+  Engine engine(&registry, EngineOptions{4, 64});
+
+  const std::vector<rf::ScanRecord> records(dataset_->test.begin(),
+                                            dataset_->test.begin() + 16);
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      const BatchServeResponse response = engine.InferBatch("home", records);
+      if (response.status.ok() && response.results.size() == records.size()) {
+        ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(ok_count.load(), 4);
+  engine.Shutdown();
+}
+
 }  // namespace
 }  // namespace gem::serve
