@@ -3,14 +3,29 @@
 // detection by the enhanced histogram detector, (3) online model
 // update — using google-benchmark, plus a summary row averaging over
 // 2000 runs like the paper.
+//
+// Serve mode (used by CI's latency smoke step):
+//   bench_table3_latency --bench_out=BENCH_serve.json [--requests=N]
+// skips google-benchmark and instead drives the full serving path —
+// FenceRegistry lookup, per-fence serialization, Gem::Infer — through
+// serve::Engine::InferBlocking, then writes p50/p99/mean request
+// latency as JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "base/check.h"
 #include "core/gem.h"
 #include "rf/dataset.h"
+#include "serve/engine.h"
+#include "serve/fence_registry.h"
 
 namespace {
 
@@ -93,9 +108,102 @@ void BM_FullInference(benchmark::State& state) {
 }
 BENCHMARK(BM_FullInference)->Unit(benchmark::kMillisecond);
 
+std::string FlagValueFromArgs(int argc, char** argv, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return "";
+}
+
+double PercentileMs(const std::vector<double>& sorted, double q) {
+  const size_t index =
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+/// Serves `request_count` single-record queries against one loaded
+/// fence via the engine's blocking path and writes the latency
+/// distribution to `bench_out` as JSON:
+///   {"workload": "serve_latency", "requests": ...,
+///    "p50_ms": ..., "p99_ms": ..., "mean_ms": ...}
+int RunServeLatency(const std::string& bench_out, int request_count) {
+  LatencySetup setup;
+  serve::FenceRegistry registry;
+  const auto generation = registry.Install("home", std::move(*setup.gem));
+  GEM_CHECK(generation.ok());
+
+  serve::EngineOptions options;
+  serve::Engine engine(&registry, options);
+
+  // Warm up the pool and the fence's inductive caches before timing.
+  for (int i = 0; i < 16; ++i) {
+    const serve::ServeResponse response = engine.InferBlocking(
+        {"home", setup.data.test[i % setup.data.test.size()], {}});
+    GEM_CHECK(response.status.ok());
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(request_count);
+  for (int i = 0; i < request_count; ++i) {
+    const rf::ScanRecord& record =
+        setup.data.test[i % setup.data.test.size()];
+    const auto start = std::chrono::steady_clock::now();
+    const serve::ServeResponse response =
+        engine.InferBlocking({"home", record, {}});
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "request %d failed: %s\n", i,
+                   response.status.ToString().c_str());
+      return 1;
+    }
+    latencies_ms.push_back(ms);
+  }
+  engine.Shutdown();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  double sum = 0.0;
+  for (const double ms : latencies_ms) sum += ms;
+  const double mean = sum / static_cast<double>(latencies_ms.size());
+  const double p50 = PercentileMs(latencies_ms, 0.50);
+  const double p99 = PercentileMs(latencies_ms, 0.99);
+
+  std::printf("=== Serve latency (engine InferBlocking, 1 fence) ===\n");
+  std::printf("requests %d  p50 %.3f ms  p99 %.3f ms  mean %.3f ms\n",
+              request_count, p50, p99, mean);
+
+  std::ofstream out(bench_out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", bench_out.c_str());
+    return 1;
+  }
+  out << "{\"workload\": \"serve_latency\", \"fence\": \"home\", "
+      << "\"threads\": " << options.num_threads
+      << ", \"requests\": " << request_count << ", \"p50_ms\": " << p50
+      << ", \"p99_ms\": " << p99 << ", \"mean_ms\": " << mean << "}\n";
+  return out ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string bench_out =
+      FlagValueFromArgs(argc, argv, "--bench_out=");
+  if (!bench_out.empty()) {
+    const std::string requests_flag =
+        FlagValueFromArgs(argc, argv, "--requests=");
+    int requests = 400;
+    if (!requests_flag.empty()) requests = std::atoi(requests_flag.c_str());
+    if (requests < 1) {
+      std::fprintf(stderr, "--requests must be >= 1\n");
+      return 2;
+    }
+    return RunServeLatency(bench_out, requests);
+  }
+
   std::printf("=== Table III: inference time breakdown (ms) ===\n");
   std::printf("Rows: embedding generation / in-out detection / online "
               "model update / full pipeline.\n\n");

@@ -10,10 +10,18 @@
 //   gem_cli train <train.csv> --snapshot_out=<model.gem> [--threads=N]
 //       Train GEM and persist the fitted model as a binary snapshot.
 //   gem_cli serve --snapshots=<a.gem,b.gem,...> --requests=<records.csv>
-//           [--threads=N] [--queue_depth=N]
+//           [--threads=N] [--queue_depth=N] [--deadline_ms=N]
+//           [--failpoints=SPEC]
 //       Load each snapshot as a fence (id = file basename without
 //       .gem), start the multi-tenant serving engine, and replay the
-//       request CSV across the fences round-robin.
+//       request CSV across the fences round-robin. --deadline_ms sets
+//       the engine's default per-request deadline. --failpoints
+//       installs a fault-injection schedule (grammar in
+//       src/fault/failpoint.h, e.g.
+//       "serve.engine.process=prob=0.01@7/unavailable"); it is an
+//       error (exit 2) unless the binary was built with
+//       -DGEM_ENABLE_FAILPOINTS=ON. Requests that fail under injection
+//       or deadlines are counted and reported, not fatal.
 //
 // --threads=N sets the BiSAGE training / batch-embedding worker count
 // for run and train, and the engine worker count for serve. The value
@@ -42,6 +50,7 @@
 #include <vector>
 
 #include "core/gem.h"
+#include "fault/failpoint.h"
 #include "math/metrics.h"
 #include "obs/export.h"
 #include "rf/dataset.h"
@@ -61,7 +70,8 @@ constexpr const char* kUsage =
     "  gem_cli train <train.csv> --snapshot_out=<model.gem> [--threads=N]\n"
     "  gem_cli serve --snapshots=<a.gem,b.gem,...> "
     "--requests=<records.csv>\n"
-    "          [--threads=N] [--queue_depth=N]\n"
+    "          [--threads=N] [--queue_depth=N] [--deadline_ms=N]\n"
+    "          [--failpoints=SPEC]\n"
     "  any command: --metrics_out=<path|-> "
     "--metrics_format={prom,json,table}\n";
 
@@ -345,6 +355,29 @@ int Serve(const ParsedArgs& args) {
     if (!ParsePositiveInt(depth_s, "queue_depth", &depth)) return 2;
     options.max_queue_depth = static_cast<size_t>(depth);
   }
+  const std::string deadline_s = FlagValue(args, "deadline_ms");
+  if (!deadline_s.empty()) {
+    int deadline_ms = 0;
+    if (!ParsePositiveInt(deadline_s, "deadline_ms", &deadline_ms)) return 2;
+    options.default_deadline = std::chrono::milliseconds(deadline_ms);
+  }
+  const std::string failpoints = FlagValue(args, "failpoints");
+  if (!failpoints.empty()) {
+    if (!fault::CompiledIn()) {
+      std::fprintf(stderr,
+                   "--failpoints requires a build with "
+                   "-DGEM_ENABLE_FAILPOINTS=ON (this binary compiled "
+                   "them out)\n");
+      return 2;
+    }
+    const Status configured = fault::Configure(failpoints);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n",
+                   configured.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "failpoints armed: %s\n", failpoints.c_str());
+  }
 
   serve::FenceRegistry registry;
   for (const std::string& path : snapshot_paths) {
@@ -372,22 +405,29 @@ int Serve(const ParsedArgs& args) {
   serve::Engine engine(&registry, options);
   std::printf("fence_id,timestamp_s,decision,score,generation\n");
   size_t shed = 0;
+  size_t failed = 0;
   for (size_t i = 0; i < requests.value().size(); ++i) {
     serve::ServeRequest request;
     request.fence_id = fence_ids[i % fence_ids.size()];
     request.record = requests.value()[i];
     serve::ServeResponse response = engine.InferBlocking(request);
     // The bounded queue sheds under overload; a driver replaying a file
-    // just retries after a beat.
-    while (response.status.code() == StatusCode::kUnavailable) {
+    // just retries after a beat. Admission-failpoint injections also
+    // surface as kUnavailable, so cap the retries.
+    for (int attempt = 0;
+         response.status.code() == StatusCode::kUnavailable && attempt < 100;
+         ++attempt) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       ++shed;
       response = engine.InferBlocking(request);
     }
     if (!response.status.ok()) {
+      // Deadline misses and injected faults are per-request outcomes,
+      // not driver errors: count them and keep replaying.
       std::fprintf(stderr, "request %zu failed: %s\n", i,
                    response.status.ToString().c_str());
-      return 1;
+      ++failed;
+      continue;
     }
     std::printf("%s,%.1f,%s,%.4f,%llu\n", request.fence_id.c_str(),
                 request.record.timestamp_s,
@@ -399,9 +439,11 @@ int Serve(const ParsedArgs& args) {
   }
   engine.Shutdown();
   std::fprintf(stderr, "served %zu requests across %zu fences (%zu "
-               "retried after backpressure)\n",
-               requests.value().size(), fence_ids.size(), shed);
-  return 0;
+               "retried after backpressure, %zu failed)\n",
+               requests.value().size() - failed, fence_ids.size(), shed,
+               failed);
+  // Every request failing means the setup is wrong, not the requests.
+  return failed == requests.value().size() && failed > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -417,7 +459,8 @@ int main(int argc, char** argv) {
   } else if (command == "train") {
     allowed = {"snapshot_out", "threads"};
   } else if (command == "serve") {
-    allowed = {"snapshots", "requests", "threads", "queue_depth"};
+    allowed = {"snapshots", "requests", "threads", "queue_depth",
+               "deadline_ms", "failpoints"};
   } else if (command != "simulate" && command != "run") {
     return Usage();
   }

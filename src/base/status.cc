@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,10 @@ enum class StatusCode {
   /// Persisted data failed validation (bad magic, checksum mismatch,
   /// truncation): the input is unusable, retrying will not help.
   kDataLoss,
+  /// The request's deadline passed before the work completed (the
+  /// serving engine answers this instead of running a model call whose
+  /// caller has already given up).
+  kDeadlineExceeded,
 };
 
 /// A success-or-error value. Cheap to copy on the success path.
@@ -54,6 +58,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "fault/failpoint.h"
 
 namespace gem {
 
@@ -86,6 +87,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos schedules inject latency here to model slow / preempted
+    // workers; dispatch itself cannot fail, so any error payload is
+    // ignored and the task always runs.
+    GEM_FAILPOINT_EVAL("base.thread_pool.task");
     task();
   }
 }

@@ -1,0 +1,314 @@
+#include "fault/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace gem::fault {
+namespace {
+
+#if defined(GEM_ENABLE_FAILPOINTS) && GEM_ENABLE_FAILPOINTS
+constexpr bool kCompiledIn = true;
+#else
+constexpr bool kCompiledIn = false;
+#endif
+
+enum class Trigger { kOnce, kAlways, kEveryNth, kProbability };
+
+struct Policy {
+  Trigger trigger = Trigger::kAlways;
+  uint64_t every_n = 1;
+  double probability = 0.0;
+  uint64_t seed = 0;
+  /// kOk = delay-only injection.
+  StatusCode code = StatusCode::kInternal;
+  long delay_ms = 0;
+};
+
+struct PointState {
+  Policy policy;
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+  /// splitmix64 stream for kProbability, seeded at Configure time so a
+  /// fixed seed replays the exact same fire schedule.
+  uint64_t rng_state = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, PointState> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Lock-free guard consulted on every Evaluate: instrumented hot paths
+/// (thread-pool dispatch, per-row parsing) pay one relaxed load until a
+/// chaos schedule is actually installed.
+std::atomic<int>& ConfiguredCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+const std::pair<const char*, StatusCode> kCodeNames[] = {
+    {"ok", StatusCode::kOk},
+    {"invalid_argument", StatusCode::kInvalidArgument},
+    {"not_found", StatusCode::kNotFound},
+    {"failed_precondition", StatusCode::kFailedPrecondition},
+    {"out_of_range", StatusCode::kOutOfRange},
+    {"internal", StatusCode::kInternal},
+    {"unavailable", StatusCode::kUnavailable},
+    {"data_loss", StatusCode::kDataLoss},
+    {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+};
+
+std::optional<StatusCode> CodeFromName(const std::string& name) {
+  for (const auto& [text, code] : kCodeNames) {
+    if (name == text) return code;
+  }
+  return std::nullopt;
+}
+
+/// Full-string numeric parses, mirroring rf::LoadRecordsCsv: trailing
+/// garbage in a spec is a configuration error, not a truncated value.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t pos = s.find(sep, start);
+    const size_t end = pos == std::string::npos ? s.size() : pos;
+    parts.push_back(s.substr(start, end - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+Status BadEntry(const std::string& entry, const std::string& why) {
+  return Status::InvalidArgument("failpoint spec '" + entry + "': " + why);
+}
+
+/// Parses the policy half of an entry ("off" is handled by the
+/// caller): trigger token first, then code / delay args in any order.
+Status ParsePolicy(const std::string& entry,
+                   const std::vector<std::string>& tokens, Policy* out) {
+  const std::string& trigger = tokens[0];
+  if (trigger == "once") {
+    out->trigger = Trigger::kOnce;
+  } else if (trigger == "always") {
+    out->trigger = Trigger::kAlways;
+  } else if (trigger.rfind("every=", 0) == 0) {
+    out->trigger = Trigger::kEveryNth;
+    if (!ParseU64(trigger.substr(6), &out->every_n) || out->every_n < 1) {
+      return BadEntry(entry, "every= needs a positive integer");
+    }
+  } else if (trigger.rfind("prob=", 0) == 0) {
+    out->trigger = Trigger::kProbability;
+    std::string prob = trigger.substr(5);
+    const size_t at = prob.find('@');
+    if (at != std::string::npos) {
+      if (!ParseU64(prob.substr(at + 1), &out->seed)) {
+        return BadEntry(entry, "prob=P@SEED needs an integer seed");
+      }
+      prob.resize(at);
+    }
+    if (!ParseDouble(prob, &out->probability) || out->probability < 0.0 ||
+        out->probability > 1.0) {
+      return BadEntry(entry, "prob= needs a probability in [0, 1]");
+    }
+  } else {
+    return BadEntry(entry, "unknown trigger '" + trigger +
+                               "' (want off, once, always, every=N or "
+                               "prob=P[@SEED])");
+  }
+
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& arg = tokens[i];
+    if (arg.rfind("delay=", 0) == 0) {
+      uint64_t ms = 0;
+      if (!ParseU64(arg.substr(6), &ms) || ms > 60'000) {
+        return BadEntry(entry, "delay= needs milliseconds in [0, 60000]");
+      }
+      out->delay_ms = static_cast<long>(ms);
+      continue;
+    }
+    const std::optional<StatusCode> code = CodeFromName(arg);
+    if (!code.has_value()) {
+      return BadEntry(entry, "unknown status code '" + arg + "'");
+    }
+    out->code = *code;
+  }
+  return Status::Ok();
+}
+
+const char* CodeLabel(StatusCode code) {
+  for (const auto& [text, named] : kCodeNames) {
+    if (named == code) return text;
+  }
+  return "internal";
+}
+
+}  // namespace
+
+bool CompiledIn() { return kCompiledIn; }
+
+Status Configure(const std::string& spec) {
+  if (!kCompiledIn) {
+    return Status::FailedPrecondition(
+        "failpoints are compiled out; rebuild with "
+        "-DGEM_ENABLE_FAILPOINTS=ON");
+  }
+  // Parse the whole spec before touching the registry, so a malformed
+  // tail never leaves a half-installed schedule.
+  std::vector<std::pair<std::string, std::optional<Policy>>> parsed;
+  for (const std::string& entry : Split(spec, ';')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return BadEntry(entry, "want point=policy");
+    }
+    const std::string point = entry.substr(0, eq);
+    const std::vector<std::string> tokens = Split(entry.substr(eq + 1), '/');
+    if (tokens[0].empty()) return BadEntry(entry, "missing policy");
+    if (tokens[0] == "off") {
+      if (tokens.size() > 1) return BadEntry(entry, "off takes no arguments");
+      parsed.emplace_back(point, std::nullopt);
+      continue;
+    }
+    Policy policy;
+    const Status status = ParsePolicy(entry, tokens, &policy);
+    if (!status.ok()) return status;
+    parsed.emplace_back(point, policy);
+  }
+
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mutex);
+  for (auto& [point, policy] : parsed) {
+    if (!policy.has_value()) {
+      registry.points.erase(point);
+      continue;
+    }
+    PointState state;
+    state.policy = *policy;
+    state.rng_state = policy->seed;
+    registry.points[point] = state;
+  }
+  ConfiguredCount().store(static_cast<int>(registry.points.size()),
+                          std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mutex);
+  registry.points.clear();
+  ConfiguredCount().store(0, std::memory_order_relaxed);
+}
+
+Status Evaluate(std::string_view point) {
+  if (ConfiguredCount().load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  Policy fired;
+  bool fire = false;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard lock(registry.mutex);
+    const auto it = registry.points.find(std::string(point));
+    if (it == registry.points.end()) return Status::Ok();
+    PointState& state = it->second;
+    ++state.hits;
+    switch (state.policy.trigger) {
+      case Trigger::kOnce:
+        fire = state.triggers == 0;
+        break;
+      case Trigger::kAlways:
+        fire = true;
+        break;
+      case Trigger::kEveryNth:
+        fire = state.hits % state.policy.every_n == 0;
+        break;
+      case Trigger::kProbability:
+        fire = static_cast<double>(SplitMix64(state.rng_state) >> 11) *
+                   0x1.0p-53 <
+               state.policy.probability;
+        break;
+    }
+    if (fire) {
+      ++state.triggers;
+      fired = state.policy;
+    }
+  }
+  if (!fire) return Status::Ok();
+  // Sleep outside the registry lock so one slow point never stalls
+  // evaluation of the others.
+  if (fired.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+  }
+  if (fired.code == StatusCode::kOk) return Status::Ok();
+  return Status(fired.code, "injected by failpoint '" + std::string(point) +
+                                "' (" + CodeLabel(fired.code) + ")");
+}
+
+uint64_t HitCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mutex);
+  const auto it = registry.points.find(point);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t TriggerCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mutex);
+  const auto it = registry.points.find(point);
+  return it == registry.points.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> ConfiguredPoints() {
+  std::vector<std::string> names;
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mutex);
+  names.reserve(registry.points.size());
+  for (const auto& [name, state] : registry.points) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace gem::fault

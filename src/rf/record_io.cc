@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "fault/failpoint.h"
+
 namespace gem::rf {
 
 Status SaveRecordsCsv(const std::string& path,
@@ -60,6 +62,7 @@ bool ParseDouble(const std::string& s, double* out) {
 }  // namespace
 
 Result<std::vector<ScanRecord>> LoadRecordsCsv(const std::string& path) {
+  GEM_FAILPOINT("rf.record_io.open");
   std::ifstream in(path);
   if (!in.good()) {
     return Status::NotFound("cannot open " + path);
@@ -80,6 +83,10 @@ Result<std::vector<ScanRecord>> LoadRecordsCsv(const std::string& path) {
       saw_header = true;
       continue;
     }
+    // Models a read error / hostile row surfacing mid-file: the loader
+    // must abandon the parse with a definite Status, never return a
+    // partially-grouped record set.
+    GEM_FAILPOINT("rf.record_io.row");
     std::istringstream row(line);
     std::string id_s, ts_s, inside_s, mac, rss_s, band_s;
     if (!std::getline(row, id_s, ',') || !std::getline(row, ts_s, ',') ||

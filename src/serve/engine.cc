@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,6 +17,7 @@ struct EngineMetrics {
   obs::Counter& rejected_full;
   obs::Counter& rejected_shutdown;
   obs::Counter& fence_not_found;
+  obs::Counter& deadline_exceeded;
   obs::Counter& absorbed;
   obs::Histogram& queue_wait_seconds;
   obs::Histogram& infer_seconds;
@@ -31,6 +33,8 @@ struct EngineMetrics {
             "gem_serve_requests_total", {{"outcome", "rejected_shutdown"}}),
         obs::MetricsRegistry::Get().GetCounter(
             "gem_serve_responses_total", {{"result", "fence_not_found"}}),
+        obs::MetricsRegistry::Get().GetCounter(
+            "gem_serve_responses_total", {{"result", "deadline_exceeded"}}),
         obs::MetricsRegistry::Get().GetCounter("gem_serve_absorbed_total"),
         obs::MetricsRegistry::Get().GetHistogram(
             "gem_serve_queue_wait_seconds", obs::LatencyBuckets()),
@@ -48,6 +52,9 @@ Status EngineOptions::Validate() const {
   if (!pool_status.ok()) return pool_status;
   if (max_queue_depth < 1) {
     return Status::InvalidArgument("engine max_queue_depth must be >= 1");
+  }
+  if (default_deadline.count() < 0) {
+    return Status::InvalidArgument("engine default_deadline must be >= 0");
   }
   return Status::Ok();
 }
@@ -77,6 +84,19 @@ StatusOr<std::unique_ptr<Engine>> Engine::Create(FenceRegistry* registry,
 
 Status Engine::Submit(ServeRequest request, Callback done) {
   EngineMetrics& metrics = EngineMetrics::Get();
+  // Chaos schedules fire here to model admission failures the queue
+  // bound alone cannot produce on demand (overload, shedding tiers).
+  GEM_FAILPOINT("serve.engine.admit");
+  if (request.deadline.count() < 0) {
+    return Status::InvalidArgument("request deadline must be >= 0");
+  }
+  const std::chrono::milliseconds deadline =
+      request.deadline.count() > 0 ? request.deadline
+                                   : options_.default_deadline;
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline_at =
+      deadline.count() > 0 ? now + deadline
+                           : std::chrono::steady_clock::time_point::max();
   {
     std::lock_guard lock(mutex_);
     if (shutting_down_) {
@@ -89,8 +109,8 @@ Status Engine::Submit(ServeRequest request, Callback done) {
                                  std::to_string(options_.max_queue_depth) +
                                  " pending)");
     }
-    queue_.push_back(Job{std::move(request), std::move(done),
-                         std::chrono::steady_clock::now()});
+    queue_.push_back(Job{std::move(request), std::move(done), now,
+                         deadline_at});
     metrics.queue_depth.Set(static_cast<double>(queue_.size()));
   }
   metrics.admitted.Increment();
@@ -187,15 +207,33 @@ void Engine::WorkerLoop() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       job.enqueued_at)
             .count());
-    ServeResponse response = Process(job.request);
+    ServeResponse response = Process(job.request, job.deadline_at);
     if (job.done) job.done(std::move(response));
   }
 }
 
-ServeResponse Engine::Process(const ServeRequest& request) {
+ServeResponse Engine::Process(
+    const ServeRequest& request,
+    std::chrono::steady_clock::time_point deadline_at) {
   GEM_TRACE_SPAN("serve.request");
   EngineMetrics& metrics = EngineMetrics::Get();
   ServeResponse response;
+
+  // Worker-side injection point: an error here answers the request
+  // with a definite Status exactly like a real execution failure.
+  GEM_FAILPOINT_ON("serve.engine.process", {
+    response.status = failpoint_status;
+    return response;
+  });
+
+  // Queue-side deadline check: the request may have expired while it
+  // sat behind slower work.
+  if (std::chrono::steady_clock::now() >= deadline_at) {
+    metrics.deadline_exceeded.Increment();
+    response.status =
+        Status::DeadlineExceeded("request deadline passed in queue");
+    return response;
+  }
 
   std::shared_ptr<Fence> fence;
   {
@@ -218,6 +256,15 @@ ServeResponse Engine::Process(const ServeRequest& request) {
     // while other tenants proceed in parallel.
     GEM_TRACE_SPAN("serve.infer");
     std::lock_guard model_lock(fence->mutex);
+    // Fence-side deadline check: waiting on a busy tenant's mutex can
+    // outlive the deadline just like queueing does.
+    if (std::chrono::steady_clock::now() >= deadline_at) {
+      metrics.deadline_exceeded.Increment();
+      response.status = Status::DeadlineExceeded(
+          "request deadline passed waiting for fence '" + request.fence_id +
+          "'");
+      return response;
+    }
     response.result = fence->gem.Infer(request.record);
   }
   metrics.infer_seconds.Observe(

@@ -28,9 +28,16 @@ struct EngineOptions {
   /// immediately with kUnavailable (backpressure — the caller sheds or
   /// retries, the server never buffers unboundedly).
   size_t max_queue_depth = 256;
+  /// Default per-request deadline, measured from Submit; zero means no
+  /// deadline. A request whose deadline passes while it queues, or
+  /// while it waits on its fence's serialization mutex, is answered
+  /// kDeadlineExceeded without running the model (the caller already
+  /// gave up — spending fence time on it only delays live requests).
+  /// ServeRequest::deadline overrides per request.
+  std::chrono::milliseconds default_deadline{0};
 
   /// kInvalidArgument unless 1 <= num_threads <= the thread-pool
-  /// maximum and max_queue_depth >= 1.
+  /// maximum, max_queue_depth >= 1 and default_deadline >= 0.
   Status Validate() const;
 };
 
@@ -38,10 +45,14 @@ struct EngineOptions {
 struct ServeRequest {
   std::string fence_id;
   rf::ScanRecord record;
+  /// Per-request deadline measured from Submit; zero falls back to
+  /// EngineOptions::default_deadline (whose zero means unlimited).
+  std::chrono::milliseconds deadline{0};
 };
 
 struct ServeResponse {
-  /// kOk with `result` filled, kNotFound (fence not loaded), or
+  /// kOk with `result` filled, kNotFound (fence not loaded),
+  /// kDeadlineExceeded (deadline passed before the model ran), or
   /// kUnavailable (shut down while queued).
   Status status;
   core::InferenceResult result;
@@ -118,10 +129,13 @@ class Engine {
     ServeRequest request;
     Callback done;
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Absolute deadline (time_point::max() when none applies).
+    std::chrono::steady_clock::time_point deadline_at;
   };
 
   void WorkerLoop();
-  ServeResponse Process(const ServeRequest& request);
+  ServeResponse Process(const ServeRequest& request,
+                        std::chrono::steady_clock::time_point deadline_at);
 
   FenceRegistry* const registry_;
   const EngineOptions options_;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "base/check.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "serve/snapshot.h"
 
@@ -20,6 +21,13 @@ obs::Counter& InstallCounter() {
   static obs::Counter& installs =
       obs::MetricsRegistry::Get().GetCounter("gem_serve_installs_total");
   return installs;
+}
+
+/// phase = "reload" when the fence id was already serving (the failure
+/// left an old generation up), "initial" for a first install.
+obs::Counter& ReloadFailureCounter(const char* phase) {
+  return obs::MetricsRegistry::Get().GetCounter(
+      "gem_serve_reload_failures_total", {{"phase", phase}});
 }
 
 }  // namespace
@@ -65,9 +73,19 @@ Result<uint64_t> FenceRegistry::Install(const std::string& fence_id,
 }
 
 Result<uint64_t> FenceRegistry::InstallFromSnapshot(
-    const std::string& fence_id, const std::string& path) {
-  StatusOr<core::Gem> gem = LoadSnapshot(path);
-  if (!gem.ok()) return gem.status();
+    const std::string& fence_id, const std::string& path,
+    const RetryOptions& retry) {
+  const char* phase = Find(fence_id) != nullptr ? "reload" : "initial";
+  StatusOr<core::Gem> gem = [&]() -> StatusOr<core::Gem> {
+    GEM_FAILPOINT("serve.registry.reload");
+    return LoadSnapshotWithRetry(path, retry);
+  }();
+  if (!gem.ok()) {
+    // Graceful degradation: the map is untouched, so an existing
+    // generation keeps serving; only the metric records the failure.
+    ReloadFailureCounter(phase).Increment();
+    return gem.status();
+  }
   return Install(fence_id, std::move(gem).value());
 }
 

@@ -11,6 +11,7 @@
 #include "base/status.h"
 #include "base/statusor.h"
 #include "core/gem.h"
+#include "serve/snapshot.h"
 
 namespace gem::serve {
 
@@ -48,9 +49,14 @@ class FenceRegistry {
   /// trained. Returns the installed generation (1 for a first install).
   Result<uint64_t> Install(const std::string& fence_id, core::Gem gem);
 
-  /// Loads a snapshot file and installs it under `fence_id`.
+  /// Loads a snapshot file (retrying transient failures per `retry` —
+  /// see LoadSnapshotWithRetry) and installs it under `fence_id`.
+  /// Degrades gracefully: when the load fails for good, the previously
+  /// installed generation (if any) keeps serving untouched and
+  /// gem_serve_reload_failures_total is incremented.
   Result<uint64_t> InstallFromSnapshot(const std::string& fence_id,
-                                       const std::string& path);
+                                       const std::string& path,
+                                       const RetryOptions& retry = {});
 
   /// Removes the fence; in-flight holders finish undisturbed.
   Status Unload(const std::string& fence_id);

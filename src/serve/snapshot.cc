@@ -5,9 +5,12 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
 #include "serve/wire.h"
 
 namespace gem::serve {
@@ -365,6 +368,7 @@ Status SaveSnapshot(const std::string& path, const core::Gem& gem) {
   if (!gem.trained()) {
     return Status::FailedPrecondition("cannot snapshot an untrained model");
   }
+  GEM_FAILPOINT("serve.snapshot.write");
   const std::vector<std::pair<uint32_t, std::string>> sections = {
       {kConfigTag, EncodeConfig(gem.config())},
       {kGraphTag, EncodeGraph(gem.embedder().graph())},
@@ -401,6 +405,12 @@ Status SaveSnapshot(const std::string& path, const core::Gem& gem) {
       return Status::Internal("write to " + tmp + " failed");
     }
   }
+  // An injected rename failure must behave like the real one: the temp
+  // file is cleaned up and the final name is never left torn.
+  GEM_FAILPOINT_ON("serve.snapshot.rename", {
+    std::remove(tmp.c_str());
+    return failpoint_status;
+  });
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal("rename " + tmp + " -> " + path + " failed");
@@ -409,6 +419,7 @@ Status SaveSnapshot(const std::string& path, const core::Gem& gem) {
 }
 
 StatusOr<core::Gem> LoadSnapshot(const std::string& path) {
+  GEM_FAILPOINT("serve.snapshot.open");
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     return Status::NotFound("cannot open " + path);
@@ -418,6 +429,7 @@ StatusOr<core::Gem> LoadSnapshot(const std::string& path) {
   if (in.bad()) {
     return Status::Internal("read from " + path + " failed");
   }
+  GEM_FAILPOINT("serve.snapshot.read");
   const std::string bytes = buffer.str();
 
   const std::string_view view(bytes);
@@ -470,6 +482,9 @@ StatusOr<core::Gem> LoadSnapshot(const std::string& path) {
     pos += size;
     uint32_t stored_crc;
     if (!(status = read_u32(&stored_crc)).ok()) return status;
+    // Fires as if this section's checksum mismatched (a flipped bit the
+    // corruption sweeps cannot place deterministically).
+    GEM_FAILPOINT("serve.snapshot.crc");
     if (Crc32(payload) != stored_crc) {
       return Status::DataLoss(path + ": section " + std::to_string(tag) +
                               " checksum mismatch");
@@ -530,6 +545,50 @@ StatusOr<core::Gem> LoadSnapshot(const std::string& path) {
 
   return core::Gem::FromParts(std::move(config), std::move(embedder),
                               std::move(detector).value());
+}
+
+Status RetryOptions::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1, got " +
+                                   std::to_string(max_attempts));
+  }
+  if (initial_backoff.count() < 0) {
+    return Status::InvalidArgument("retry initial_backoff must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry backoff_multiplier must be >= 1");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kInternal;
+}
+
+}  // namespace
+
+StatusOr<core::Gem> LoadSnapshotWithRetry(const std::string& path,
+                                          const RetryOptions& retry) {
+  const Status valid = retry.Validate();
+  if (!valid.ok()) return valid;
+  static obs::Counter& retries =
+      obs::MetricsRegistry::Get().GetCounter(
+          "gem_serve_snapshot_retries_total");
+  std::chrono::duration<double, std::milli> backoff = retry.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    StatusOr<core::Gem> gem = LoadSnapshot(path);
+    if (gem.ok() || !IsTransient(gem.code()) ||
+        attempt >= retry.max_attempts) {
+      return gem;
+    }
+    retries.Increment();
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+    }
+    backoff *= retry.backoff_multiplier;
+  }
 }
 
 }  // namespace gem::serve

@@ -1,6 +1,7 @@
 #ifndef GEM_SERVE_SNAPSHOT_H_
 #define GEM_SERVE_SNAPSHOT_H_
 
+#include <chrono>
 #include <string>
 
 #include "base/status.h"
@@ -39,6 +40,28 @@ Status SaveSnapshot(const std::string& path, const core::Gem& gem);
 /// InvalidArgument on future versions or semantically inconsistent
 /// state; never crashes on hostile bytes.
 StatusOr<core::Gem> LoadSnapshot(const std::string& path);
+
+/// Bounded exponential-backoff retry for snapshot loads (live reloads
+/// in a long-running server hit transient I/O failures; a reload that
+/// gives up must not take the previous generation down with it).
+struct RetryOptions {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Sleep before attempt 2; doubles (backoff_multiplier) per attempt.
+  std::chrono::milliseconds initial_backoff{5};
+  double backoff_multiplier = 2.0;
+
+  /// kInvalidArgument unless max_attempts >= 1, initial_backoff >= 0
+  /// and backoff_multiplier >= 1.
+  Status Validate() const;
+};
+
+/// LoadSnapshot with RetryOptions semantics. Only transient codes
+/// (kUnavailable, kInternal) are retried — kNotFound, kDataLoss and
+/// kInvalidArgument are terminal and return immediately. Each retry
+/// increments gem_serve_snapshot_retries_total.
+StatusOr<core::Gem> LoadSnapshotWithRetry(const std::string& path,
+                                          const RetryOptions& retry);
 
 }  // namespace gem::serve
 

@@ -1,12 +1,15 @@
-#ifndef GEM_TESTS_DETECT_TEST_BLOBS_H_
-#define GEM_TESTS_DETECT_TEST_BLOBS_H_
+#ifndef GEM_TESTS_COMMON_TEST_BLOBS_H_
+#define GEM_TESTS_COMMON_TEST_BLOBS_H_
 
 #include <vector>
 
 #include "math/rng.h"
 #include "math/vec.h"
 
-namespace gem::detect::testing {
+// Shared detector fixtures (see tests/CMakeLists.txt: every suite
+// links gem_test_common). Lives in gem::testing so any gem::* test
+// namespace reaches it as `testing::`.
+namespace gem::testing {
 
 /// Normal data: a bimodal blob (two Gaussian clusters), mimicking the
 /// multimodal in-premises embedding distribution the paper motivates.
@@ -52,6 +55,6 @@ double OutlierRate(const Detector& detector,
   return static_cast<double>(flagged) / samples.size();
 }
 
-}  // namespace gem::detect::testing
+}  // namespace gem::testing
 
-#endif  // GEM_TESTS_DETECT_TEST_BLOBS_H_
+#endif  // GEM_TESTS_COMMON_TEST_BLOBS_H_

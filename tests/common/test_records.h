@@ -1,5 +1,5 @@
-#ifndef GEM_TESTS_EMBED_TEST_RECORDS_H_
-#define GEM_TESTS_EMBED_TEST_RECORDS_H_
+#ifndef GEM_TESTS_COMMON_TEST_RECORDS_H_
+#define GEM_TESTS_COMMON_TEST_RECORDS_H_
 
 #include <string>
 #include <vector>
@@ -7,7 +7,10 @@
 #include "math/rng.h"
 #include "rf/types.h"
 
-namespace gem::embed::testing {
+// Shared scan-record fixtures (see tests/CMakeLists.txt: every suite
+// links gem_test_common). Lives in gem::testing so any gem::* test
+// namespace reaches it as `testing::`.
+namespace gem::testing {
 
 /// Two synthetic "rooms": room A records sense MACs a0..a4 strongly and
 /// a couple of shared MACs weakly; room B symmetrical with b0..b4. A
@@ -82,6 +85,6 @@ inline double SeparationRatio(const std::vector<gem::math::Vec>& embeddings,
   return (intra / n_intra) / (inter / n_inter + 1e-12);
 }
 
-}  // namespace gem::embed::testing
+}  // namespace gem::testing
 
-#endif  // GEM_TESTS_EMBED_TEST_RECORDS_H_
+#endif  // GEM_TESTS_COMMON_TEST_RECORDS_H_

@@ -1,0 +1,125 @@
+// Golden regression over the full train -> infer pipeline: retrains in
+// deterministic mode on a committed scenario dataset and compares every
+// Infer result bit-exactly (hex-float scores, decisions, update flags)
+// against a committed golden file. Any change to training, embedding,
+// detection, or self-enhancement numerics shows up as a diff here —
+// intentional changes regenerate with:
+//
+//   GEM_REGEN_GOLDEN=1 ./golden_scores_test
+//
+// which rewrites tests/data/golden/ in the source tree (commit the
+// result alongside the change that moved the numbers).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gem.h"
+#include "rf/dataset.h"
+#include "rf/record_io.h"
+
+#ifndef GEM_TEST_DATA_DIR
+#error "golden_scores_test needs GEM_TEST_DATA_DIR (set in CMakeLists)"
+#endif
+
+namespace gem::core {
+namespace {
+
+std::string GoldenDir() {
+  return std::string(GEM_TEST_DATA_DIR) + "/golden";
+}
+
+/// Single-threaded deterministic-mode config: bit-identical across
+/// machines and (by the parallel_determinism suite's guarantee) across
+/// thread counts, so the golden file is independent of where it was
+/// produced.
+GemConfig GoldenConfig() {
+  GemConfig config;
+  config.bisage.dimension = 16;
+  config.bisage.epochs = 2;
+  config.bisage.seed = 5;
+  config.bisage.num_threads = 1;
+  config.bisage.deterministic = true;
+  return config;
+}
+
+/// "%a" renders the exact bits of the double; a one-ULP drift anywhere
+/// in the pipeline changes the line.
+std::string FormatResult(const InferenceResult& result) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%a %d %d", result.score,
+                static_cast<int>(result.decision),
+                result.model_updated ? 1 : 0);
+  return buf;
+}
+
+TEST(GoldenScoresTest, InferResultsMatchCommittedGolden) {
+  const std::string train_path = GoldenDir() + "/train.csv";
+  const std::string test_path = GoldenDir() + "/test.csv";
+  const std::string golden_path = GoldenDir() + "/scores.golden";
+  const bool regen = std::getenv("GEM_REGEN_GOLDEN") != nullptr;
+
+  if (regen) {
+    // The scenario itself is pinned by seed; rewriting the CSVs keeps
+    // the fixtures reproducible from this file alone.
+    rf::DatasetOptions options;
+    options.train_duration_s = 240.0;
+    options.test_segments = 3;
+    options.test_segment_duration_s = 60.0;
+    options.seed = 2024;
+    const rf::Dataset data =
+        rf::GenerateScenarioDataset(rf::HomePreset(3), options);
+    ASSERT_TRUE(rf::SaveRecordsCsv(train_path, data.train).ok());
+    ASSERT_TRUE(rf::SaveRecordsCsv(test_path, data.test).ok());
+  }
+
+  // Always retrain from the CSVs (not the in-memory dataset) so the
+  // verify path and the regen path exercise identical inputs.
+  const auto train = rf::LoadRecordsCsv(train_path);
+  ASSERT_TRUE(train.ok())
+      << train.status().ToString()
+      << " — run with GEM_REGEN_GOLDEN=1 to create the fixtures";
+  const auto test = rf::LoadRecordsCsv(test_path);
+  ASSERT_TRUE(test.ok()) << test.status().ToString();
+  ASSERT_FALSE(test.value().empty());
+
+  Gem gem(GoldenConfig());
+  ASSERT_TRUE(gem.Train(train.value()).ok());
+  std::vector<std::string> actual;
+  actual.reserve(test.value().size());
+  for (const rf::ScanRecord& record : test.value()) {
+    actual.push_back(FormatResult(gem.Infer(record)));
+  }
+
+  if (regen) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    for (const std::string& line : actual) out << line << '\n';
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << golden_path << " ("
+                 << actual.size() << " results) — commit the new fixtures";
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good())
+      << golden_path << " missing — run with GEM_REGEN_GOLDEN=1";
+  std::vector<std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) expected.push_back(line);
+  }
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i])
+        << "record " << i << " drifted (format: score decision updated); "
+        << "if the numerics change is intentional, regenerate with "
+        << "GEM_REGEN_GOLDEN=1 and commit";
+  }
+}
+
+}  // namespace
+}  // namespace gem::core

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
-#include "tests/detect/test_blobs.h"
+#include "tests/common/test_blobs.h"
 
 namespace gem::detect {
 namespace {

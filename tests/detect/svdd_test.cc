@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "tests/detect/test_blobs.h"
+#include "tests/common/test_blobs.h"
 
 namespace gem::detect {
 namespace {

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "math/vec.h"
-#include "tests/embed/test_records.h"
+#include "tests/common/test_records.h"
 
 namespace gem::embed {
 namespace {

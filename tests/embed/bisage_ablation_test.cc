@@ -5,7 +5,7 @@
 
 #include "embed/bisage.h"
 #include "math/vec.h"
-#include "tests/embed/test_records.h"
+#include "tests/common/test_records.h"
 
 namespace gem::embed {
 namespace {

@@ -13,7 +13,7 @@
 #include "detect/iforest.h"
 #include "detect/lof.h"
 #include "detect/svdd.h"
-#include "tests/detect/test_blobs.h"
+#include "tests/common/test_blobs.h"
 
 namespace gem::detect {
 namespace {
