@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json artifacts.
+
+Compares the wall-time metrics of freshly produced bench JSONs
+(BENCH_train.json from bench_fig9_training_update --timing_only,
+BENCH_serve.json from bench_table3_latency --bench_out,
+BENCH_kernels.json from bench_kernels --bench_out) against the
+committed baselines in bench/baselines/.
+
+    python3 bench/check_bench.py --baseline-dir bench/baselines \
+        [--current-dir .] [--fail-pct 25] [--warn-pct 10] [NAME.json ...]
+
+With no NAMEs, every *.json in the baseline dir is checked. A metric is
+any numeric leaf whose key looks like a timing (``*_seconds``, ``*_ms``,
+``ns_per_op``); list entries are keyed by their identifying fields
+(threads / kernel / dim / backend) so reordering never misaligns a
+comparison. p99 metrics are warn-only: tail latency on shared CI
+runners is too noisy to gate merges on.
+
+Exit codes: 0 ok (warnings allowed), 1 regression (or a baselined
+metric missing from the current run), 2 usage/IO/parse error.
+
+See bench/README.md for the baseline rebase flow.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# A numeric leaf participates in the comparison iff its key matches.
+TIMING_RE = re.compile(r"(_seconds|_ms|ns_per_op)$")
+# Metrics that only warn, never fail (tail latency is noisy on shared
+# runners).
+WARN_ONLY_RE = re.compile(r"(^|[._\[])p99")
+# Fields used to key list entries stably.
+ID_FIELDS = ("threads", "kernel", "dim", "backend", "workload", "fence")
+
+
+def flatten(node, prefix=""):
+    """Yields (path, value) for every numeric timing leaf under node."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else key
+            yield from flatten(node[key], path)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            if isinstance(item, dict):
+                ids = [f"{f}={item[f]}" for f in ID_FIELDS if f in item]
+                tag = ",".join(ids) if ids else str(index)
+            else:
+                tag = str(index)
+            yield from flatten(item, f"{prefix}[{tag}]")
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        key = prefix.rsplit(".", 1)[-1]
+        if TIMING_RE.search(key):
+            yield prefix, float(node)
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return dict(flatten(json.load(f)))
+
+
+def compare_file(name, baseline_path, current_path, fail_pct, warn_pct):
+    """Returns (num_regressions, num_warnings) for one artifact pair."""
+    base = load_metrics(baseline_path)
+    cur = load_metrics(current_path)
+    regressions = 0
+    warnings = 0
+    for path in sorted(base):
+        if path not in cur:
+            print(f"FAIL {name}: {path} missing from current run "
+                  f"(baseline {base[path]:.6g})")
+            regressions += 1
+            continue
+        b, c = base[path], cur[path]
+        if b <= 0.0:
+            print(f"SKIP {name}: {path} baseline is {b:.6g}")
+            continue
+        delta_pct = (c - b) / b * 100.0
+        line = (f"{name}: {path} baseline={b:.6g} current={c:.6g} "
+                f"({delta_pct:+.1f}%)")
+        warn_only = WARN_ONLY_RE.search(path) is not None
+        if delta_pct > fail_pct and not warn_only:
+            print(f"FAIL {line}")
+            regressions += 1
+        elif delta_pct > warn_pct:
+            print(f"WARN {line}" + (" [p99: warn-only]" if warn_only else ""))
+            warnings += 1
+        else:
+            print(f"  OK {line}")
+    for path in sorted(set(cur) - set(base)):
+        print(f"NEW  {name}: {path}={cur[path]:.6g} "
+              f"(not in baseline; will be gated after the next rebase)")
+    return regressions, warnings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--current-dir", default=".")
+    parser.add_argument("--fail-pct", type=float, default=25.0,
+                        help="fail when a metric regresses by more than "
+                             "this percentage (default 25)")
+    parser.add_argument("--warn-pct", type=float, default=10.0,
+                        help="warn above this percentage (default 10)")
+    parser.add_argument("names", nargs="*",
+                        help="artifact file names (default: every *.json "
+                             "in the baseline dir)")
+    args = parser.parse_args(argv)
+    if args.warn_pct > args.fail_pct:
+        print(f"error: --warn-pct ({args.warn_pct}) must be <= --fail-pct "
+              f"({args.fail_pct})", file=sys.stderr)
+        return 2
+
+    names = args.names
+    if not names:
+        try:
+            names = sorted(n for n in os.listdir(args.baseline_dir)
+                           if n.endswith(".json"))
+        except OSError as e:
+            print(f"error: cannot list {args.baseline_dir}: {e}",
+                  file=sys.stderr)
+            return 2
+    if not names:
+        print(f"error: no baseline *.json in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    total_warnings = 0
+    for name in names:
+        baseline_path = os.path.join(args.baseline_dir, name)
+        current_path = os.path.join(args.current_dir, name)
+        try:
+            regressions, warnings = compare_file(
+                name, baseline_path, current_path, args.fail_pct,
+                args.warn_pct)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {name}: {e}", file=sys.stderr)
+            return 2
+        total_regressions += regressions
+        total_warnings += warnings
+
+    verdict = "FAIL" if total_regressions else "OK"
+    print(f"{verdict}: {total_regressions} regression(s), "
+          f"{total_warnings} warning(s) across {len(names)} artifact(s) "
+          f"[fail >{args.fail_pct:g}%, warn >{args.warn_pct:g}%]")
+    return 1 if total_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

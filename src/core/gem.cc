@@ -1,6 +1,7 @@
 #include "core/gem.h"
 
 #include "base/check.h"
+#include "math/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -53,6 +54,15 @@ Status Gem::Train(const std::vector<rf::ScanRecord>& inside_records) {
   static obs::Counter& train_records =
       obs::MetricsRegistry::Get().GetCounter("gem_train_records_total");
   train_records.Increment(inside_records.size());
+  // Which SIMD backend this process dispatched to (scalar or avx2) —
+  // surfaced as a labeled flag gauge so perf numbers scraped off a
+  // fleet are attributable to the kernel family that produced them.
+  static obs::Gauge& kernel_backend =
+      obs::MetricsRegistry::Get().GetGauge(
+          "gem_kernel_backend_active",
+          {{"backend", math::kernels::BackendName(
+                           math::kernels::ActiveBackend())}});
+  kernel_backend.Set(1.0);
 
   Status status;
   {

@@ -26,14 +26,16 @@ long MemoKey(graph::NodeId node, int layer, int num_layers) {
 }
 
 /// Normalized aggregation coefficients of a sampled neighbor multiset
-/// (the paper's weighted aggregator; uniform under the ablation).
-math::Vec AggregationCoeffs(const std::vector<graph::Neighbor>& sampled,
-                            bool use_edge_weights) {
-  math::Vec coeffs(sampled.size());
+/// (the paper's weighted aggregator; uniform under the ablation),
+/// written into a caller-owned buffer so the inference hot path can
+/// reuse its capacity.
+void AggregationCoeffsInto(const std::vector<graph::Neighbor>& sampled,
+                           bool use_edge_weights, math::Vec& coeffs) {
+  coeffs.assign(sampled.size(), 0.0);
   if (!use_edge_weights) {
     std::fill(coeffs.begin(), coeffs.end(),
               1.0 / static_cast<double>(sampled.size()));
-    return coeffs;
+    return;
   }
   double total = 0.0;
   for (size_t i = 0; i < sampled.size(); ++i) {
@@ -46,7 +48,20 @@ math::Vec AggregationCoeffs(const std::vector<graph::Neighbor>& sampled,
   } else {
     for (double& c : coeffs) c /= total;
   }
+}
+
+math::Vec AggregationCoeffs(const std::vector<graph::Neighbor>& sampled,
+                            bool use_edge_weights) {
+  math::Vec coeffs;
+  AggregationCoeffsInto(sampled, use_edge_weights, coeffs);
   return coeffs;
+}
+
+/// In-place l2 normalization matching math::NormalizeL2's contract
+/// (zero vectors pass through) on a raw kernel buffer.
+void NormalizeInPlace(const math::kernels::Ops& ops, double* x, int n) {
+  const double norm = std::sqrt(ops.dot(x, x, n));
+  if (norm > 0.0) ops.scale(x, 1.0 / norm, n);
 }
 
 /// Uniform with-replacement neighbor draw (ablation of the
@@ -435,28 +450,45 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
   return Status::Ok();
 }
 
-BiSage::HL BiSage::InferNode(const graph::BipartiteGraph& graph,
-                             graph::NodeId node, int layer, math::Rng& rng,
-                             std::unordered_map<long, HL>& memo) const {
-  const long key = MemoKey(node, layer, config_.num_layers);
-  const auto it = memo.find(key);
-  if (it != memo.end()) return it->second;
+void BiSage::InferScratch::Reset(int num_layers, int dimension) {
+  arena_.clear();
+  memo_.clear();
+  temps_.assign(static_cast<size_t>(num_layers) * 4 * dimension, 0.0);
+  sampled_.resize(num_layers);
+  coeffs_.resize(num_layers);
+}
 
-  HL out;
+size_t BiSage::ForwardNode(const graph::BipartiteGraph& graph,
+                           graph::NodeId node, int layer, math::Rng& rng,
+                           InferScratch& scratch) const {
+  const long key = MemoKey(node, layer, config_.num_layers);
+  const auto it = scratch.memo_.find(key);
+  if (it != scratch.memo_.end()) return it->second;
+
+  const int d = config_.dimension;
+  const math::kernels::Ops& ops = math::kernels::Active();
+  size_t off;
   if (layer == 0) {
-    out.h = h_table_.Row(node);
-    out.l = l_table_.Row(node);
+    off = scratch.arena_.size();
+    scratch.arena_.resize(off + 2 * d);
+    std::copy_n(h_table_.RowPtr(node), d, scratch.arena_.data() + off);
+    std::copy_n(l_table_.RowPtr(node), d, scratch.arena_.data() + off + d);
   } else {
-    const HL self = InferNode(graph, node, layer - 1, rng, memo);
+    const size_t self_off = ForwardNode(graph, node, layer - 1, rng, scratch);
     const int fanout = config_.inference_fanouts[config_.num_layers - layer];
     // fanout <= 0 selects the full neighborhood with exact weights:
-    // a deterministic, variance-free aggregation for inference.
-    std::vector<graph::Neighbor> sampled =
-        fanout <= 0
-            ? graph.neighbors(node)
-            : (config_.use_edge_weights
-                   ? graph.SampleNeighbors(node, fanout, rng)
-                   : SampleUniform(graph, node, fanout, rng));
+    // a deterministic, variance-free aggregation for inference (and the
+    // allocation-free path — the adjacency is copied into the reused
+    // per-layer buffer, never freshly allocated).
+    std::vector<graph::Neighbor>& sampled = scratch.sampled_[layer - 1];
+    if (fanout <= 0) {
+      const auto& adj = graph.neighbors(node);
+      sampled.assign(adj.begin(), adj.end());
+    } else if (config_.use_edge_weights) {
+      sampled = graph.SampleNeighbors(node, fanout, rng);
+    } else {
+      sampled = SampleUniform(graph, node, fanout, rng);
+    }
     // Drop MAC neighbors the model cannot interpret: singletons
     // (degree < min_mac_degree, e.g. a passer-by's phone — no
     // relational information) and MACs first seen after training
@@ -477,55 +509,90 @@ BiSage::HL BiSage::InferNode(const graph::BipartiteGraph& graph,
                        }),
         sampled.end());
 
-    math::Vec h_agg(config_.dimension, 0.0);
-    math::Vec l_agg(config_.dimension, 0.0);
+    // Stable per-layer temporaries: child recursion below may grow the
+    // arena (invalidating arena pointers), so aggregation accumulates
+    // here and arena pointers are re-derived from offsets after every
+    // recursive call.
+    double* temp = scratch.temps_.data() + static_cast<size_t>(layer - 1) * 4 * d;
+    double* h_agg = temp;
+    double* l_agg = temp + d;
+    double* cat = temp + 2 * d;
+    std::fill_n(h_agg, 2 * d, 0.0);
     if (!sampled.empty()) {
-      const math::Vec coeffs =
-          AggregationCoeffs(sampled, config_.use_edge_weights);
+      math::Vec& coeffs = scratch.coeffs_[layer - 1];
+      AggregationCoeffsInto(sampled, config_.use_edge_weights, coeffs);
       for (size_t i = 0; i < sampled.size(); ++i) {
-        const HL child =
-            InferNode(graph, sampled[i].node, layer - 1, rng, memo);
-        math::AddScaled(h_agg, child.l, coeffs[i]);
-        math::AddScaled(l_agg, child.h, coeffs[i]);
+        const size_t child_off =
+            ForwardNode(graph, sampled[i].node, layer - 1, rng, scratch);
+        const double* child = scratch.arena_.data() + child_off;
+        // Equation (3): primary aggregates neighbors' auxiliaries;
+        // Equation (5): auxiliary aggregates neighbors' primaries.
+        ops.add_scaled(h_agg, child + d, coeffs[i], d);
+        ops.add_scaled(l_agg, child, coeffs[i], d);
       }
     }
-    math::Vec h_in = math::Concat(self.h, h_agg);
-    math::Vec l_in = math::Concat(self.l, l_agg);
-    out.h = w_h_[layer - 1]->value.MatVec(h_in);
-    out.l = w_l_[layer - 1]->value.MatVec(l_in);
+    off = scratch.arena_.size();
+    scratch.arena_.resize(off + 2 * d);
+    // Equations (4), (6): y = W [self ; agg], straight into the arena.
+    const double* self = scratch.arena_.data() + self_off;
+    std::copy_n(self, d, cat);
+    std::copy_n(h_agg, d, cat + d);
+    ops.matvec(w_h_[layer - 1]->value.data().data(), d, 2 * d, cat,
+               scratch.arena_.data() + off);
+    std::copy_n(self + d, d, cat);
+    std::copy_n(l_agg, d, cat + d);
+    ops.matvec(w_l_[layer - 1]->value.data().data(), d, 2 * d, cat,
+               scratch.arena_.data() + off + d);
+    double* h = scratch.arena_.data() + off;
+    double* l = h + d;
     if (layer != config_.num_layers) {  // linear top layer (see training)
-      for (double& v : out.h) v = v > 0.0 ? v : 0.0;
-      for (double& v : out.l) v = v > 0.0 ? v : 0.0;
+      for (int i = 0; i < d; ++i) h[i] = h[i] > 0.0 ? h[i] : 0.0;
+      for (int i = 0; i < d; ++i) l[i] = l[i] > 0.0 ? l[i] : 0.0;
     }
-    math::NormalizeL2(out.h);
-    math::NormalizeL2(out.l);
+    // Equation (7).
+    NormalizeInPlace(ops, h, d);
+    NormalizeInPlace(ops, l, d);
   }
-  memo.emplace(key, out);
-  return out;
+  scratch.memo_.emplace(key, off);
+  return off;
 }
 
-math::Vec BiSage::PrimaryEmbedding(const graph::BipartiteGraph& graph,
-                                   graph::NodeId node) const {
+void BiSage::EmbedForward(const graph::BipartiteGraph& graph,
+                          graph::NodeId node, InferScratch& scratch,
+                          double* h_out, double* l_out) const {
   GEM_CHECK(config_status_.ok());
   GEM_CHECK(node >= 0 && node < graph.num_nodes());
   EnsureCapacity(graph, graph.num_nodes());
+  scratch.Reset(config_.num_layers, config_.dimension);
   // Per-node deterministic sampling stream so repeated queries agree
   // (and so a batch of nodes embeds identically at any thread count).
   math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
                                 (static_cast<uint64_t>(node) + 1)));
-  std::unordered_map<long, HL> memo;
-  return InferNode(graph, node, config_.num_layers, rng, memo).h;
+  const size_t off = ForwardNode(graph, node, config_.num_layers, rng,
+                                 scratch);
+  const int d = config_.dimension;
+  if (h_out != nullptr) {
+    std::copy_n(scratch.arena_.data() + off, d, h_out);
+  }
+  if (l_out != nullptr) {
+    std::copy_n(scratch.arena_.data() + off + d, d, l_out);
+  }
+}
+
+math::Vec BiSage::PrimaryEmbedding(const graph::BipartiteGraph& graph,
+                                   graph::NodeId node) const {
+  static thread_local InferScratch scratch;
+  math::Vec h(config_.dimension);
+  EmbedForward(graph, node, scratch, h.data(), nullptr);
+  return h;
 }
 
 math::Vec BiSage::AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
                                      graph::NodeId node) const {
-  GEM_CHECK(config_status_.ok());
-  GEM_CHECK(node >= 0 && node < graph.num_nodes());
-  EnsureCapacity(graph, graph.num_nodes());
-  math::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL *
-                                (static_cast<uint64_t>(node) + 1)));
-  std::unordered_map<long, HL> memo;
-  return InferNode(graph, node, config_.num_layers, rng, memo).l;
+  static thread_local InferScratch scratch;
+  math::Vec l(config_.dimension);
+  EmbedForward(graph, node, scratch, nullptr, l.data());
+  return l;
 }
 
 BiSage::TrainedState BiSage::ExportTrained() const {
@@ -660,11 +727,21 @@ std::vector<StatusOr<math::Vec>> BiSageEmbedder::EmbedNewBatch(
   // parallel section.
   model_.PrepareInference(graph_);
   std::vector<math::Vec> embeddings(records.size());
+  // One tape-free forward scratch per worker, reused across the chunk's
+  // records — the batch does no per-record allocation beyond the output
+  // vectors themselves.
+  std::vector<BiSage::InferScratch> scratches(
+      model_.thread_pool().num_threads());
+  const int dimension = model_.config().dimension;
   model_.thread_pool().ParallelFor(
-      static_cast<long>(records.size()), [&](int, long begin, long end) {
+      static_cast<long>(records.size()),
+      [&](int chunk, long begin, long end) {
+        BiSage::InferScratch& scratch = scratches[chunk];
         for (long i = begin; i < end; ++i) {
           if (connected[i]) {
-            embeddings[i] = model_.PrimaryEmbedding(graph_, nodes[i]);
+            embeddings[i].resize(dimension);
+            model_.EmbedForward(graph_, nodes[i], scratch,
+                                embeddings[i].data());
           }
         }
       });

@@ -11,6 +11,7 @@
 #include "embed/embedder.h"
 #include "graph/bipartite_graph.h"
 #include "math/autograd.h"
+#include "math/kernels.h"
 #include "math/optimizer.h"
 #include "math/rng.h"
 
@@ -101,12 +102,51 @@ class BiSage {
   /// aggregation with the learned weights. Nodes unseen at Train()
   /// time are initialized on first touch. Deterministic given the
   /// node's sampled neighborhoods (internally seeded per node).
+  /// Convenience wrapper over EmbedForward with a per-thread scratch.
   math::Vec PrimaryEmbedding(const graph::BipartiteGraph& graph,
                              graph::NodeId node) const;
 
   /// Auxiliary embedding l^K (used by tests and diagnostics).
   math::Vec AuxiliaryEmbedding(const graph::BipartiteGraph& graph,
                                graph::NodeId node) const;
+
+  /// Reusable workspace for the tape-free forward pass (EmbedForward).
+  /// Holds a 32-byte-aligned value arena addressed by (node, layer)
+  /// offsets, per-layer aggregation/concat temporaries, and neighbor
+  /// buffers. One instance per thread; after the first call on a graph
+  /// neighborhood of typical size, subsequent calls are allocation-free
+  /// (buffers are reset, not released).
+  class InferScratch {
+   public:
+    InferScratch() = default;
+
+   private:
+    friend class BiSage;
+    void Reset(int num_layers, int dimension);
+
+    /// Computed (h, l) values, one 2*d slab per memoized (node, layer);
+    /// memo_ maps MemoKey(node, layer) to the slab's h offset (l at +d).
+    math::kernels::AlignedVec arena_;
+    std::unordered_map<long, size_t> memo_;
+    /// Per layer: [h_agg d | l_agg d | concat 2d]. Stable storage, so
+    /// aggregation can accumulate while child recursion grows arena_.
+    math::kernels::AlignedVec temps_;
+    /// Per-layer sampled-neighbor and coefficient buffers.
+    std::vector<std::vector<graph::Neighbor>> sampled_;
+    std::vector<math::Vec> coeffs_;
+  };
+
+  /// Tape-free forward-only inference: evaluates Equations (3)-(7) for
+  /// `node` directly into caller-provided buffers — no Tape node
+  /// allocation, no per-node Vec copies. h_out / l_out must each hold
+  /// dimension() doubles (either may be null to skip that side; no
+  /// alignment required). Numerically identical to the removed
+  /// tape-style inference path: same per-node RNG stream, same
+  /// aggregation order, same MAC filtering. This is the hot path under
+  /// EmbedNew/EmbedNewBatch and the serving engine's Infer*.
+  void EmbedForward(const graph::BipartiteGraph& graph, graph::NodeId node,
+                    InferScratch& scratch, double* h_out,
+                    double* l_out = nullptr) const;
 
   /// Makes concurrent PrimaryEmbedding/AuxiliaryEmbedding calls over
   /// `graph` safe: grows the node tables to cover the whole graph and
@@ -174,14 +214,10 @@ class BiSage {
                          graph::NodeId node, int layer, math::Rng& rng,
                          std::unordered_map<long, NodeVars>& memo) const;
 
-  /// Inference-time (no-grad) forward pass, memoized.
-  struct HL {
-    math::Vec h;
-    math::Vec l;
-  };
-  HL InferNode(const graph::BipartiteGraph& graph, graph::NodeId node,
-               int layer, math::Rng& rng,
-               std::unordered_map<long, HL>& memo) const;
+  /// Recursive worker of EmbedForward: returns the arena offset of the
+  /// memoized (h^layer, l^layer) slab for `node`.
+  size_t ForwardNode(const graph::BipartiteGraph& graph, graph::NodeId node,
+                     int layer, math::Rng& rng, InferScratch& scratch) const;
 
   BiSageConfig config_;
   Status config_status_;

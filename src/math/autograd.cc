@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "math/kernels.h"
 
 namespace gem::math {
 namespace {
@@ -82,9 +83,12 @@ VarId Tape::WeightedSum(const std::vector<VarId>& inputs, const Vec& coeffs) {
   n.inputs = inputs;
   n.coeffs = coeffs;
   n.value.assign(value(inputs[0]).size(), 0.0);
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    AddScaled(n.value, value(inputs[i]), coeffs[i]);
-  }
+  std::vector<const double*> input_ptrs;
+  input_ptrs.reserve(inputs.size());
+  for (const VarId input : inputs) input_ptrs.push_back(value(input).data());
+  kernels::Active().weighted_sum(n.value.data(), input_ptrs.data(),
+                                 n.coeffs.data(), input_ptrs.size(),
+                                 n.value.size());
   return Push(std::move(n));
 }
 
@@ -222,10 +226,9 @@ void Tape::Backward(ParamGradSink* sink) {
       case Op::kConcat: {
         Vec& ga = nodes_[n.a].grad;
         Vec& gb = nodes_[n.b].grad;
-        for (size_t i = 0; i < ga.size(); ++i) ga[i] += n.grad[i];
-        for (size_t i = 0; i < gb.size(); ++i) {
-          gb[i] += n.grad[ga.size() + i];
-        }
+        const kernels::Ops& ops = kernels::Active();
+        ops.add_scaled(ga.data(), n.grad.data(), 1.0, ga.size());
+        ops.add_scaled(gb.data(), n.grad.data() + ga.size(), 1.0, gb.size());
         break;
       }
       case Op::kWeightedSum:

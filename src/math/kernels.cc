@@ -1,0 +1,332 @@
+#include "math/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/check.h"
+
+// The AVX2+FMA kernels are compiled with per-function target attributes
+// so the translation unit itself needs no -mavx2 (the binary still runs
+// on plain SSE2 hardware; dispatch just resolves to scalar there).
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define GEM_KERNELS_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define GEM_KERNELS_HAVE_AVX2 0
+#endif
+
+namespace gem::math::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend. These loops are the seed's original numerics:
+// strictly sequential left-to-right accumulation, separate multiply and
+// add roundings. GEM_KERNELS=scalar therefore reproduces pre-kernel
+// results bit-for-bit.
+// ---------------------------------------------------------------------------
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double SquaredDistanceScalar(const double* a, const double* b, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void AddScaledScalar(double* a, const double* b, double scale, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += scale * b[i];
+}
+
+void ScaleScalar(double* a, double scale, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] *= scale;
+}
+
+void WeightedSumScalar(double* out, const double* const* inputs,
+                       const double* coeffs, size_t k, size_t n) {
+  if (n == 0) return;  // out may be null; memset is declared nonnull
+  std::memset(out, 0, n * sizeof(double));
+  for (size_t i = 0; i < k; ++i) {
+    const double c = coeffs[i];
+    const double* in = inputs[i];
+    for (size_t j = 0; j < n; ++j) out[j] += c * in[j];
+  }
+}
+
+void MatVecScalar(const double* m, int rows, int cols, const double* x,
+                  double* y) {
+  for (int r = 0; r < rows; ++r) {
+    y[r] = DotScalar(m + static_cast<size_t>(r) * cols, x, cols);
+  }
+}
+
+void MatTVecScalar(const double* m, int rows, int cols, const double* x,
+                   double* y) {
+  for (int r = 0; r < rows; ++r) {
+    const double* row = m + static_cast<size_t>(r) * cols;
+    const double xr = x[r];
+    for (int c = 0; c < cols; ++c) y[c] += row[c] * xr;
+  }
+}
+
+constexpr Ops kScalarOps = {
+    DotScalar,        SquaredDistanceScalar, AddScaledScalar, ScaleScalar,
+    WeightedSumScalar, MatVecScalar,         MatTVecScalar,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA backend. Reductions use a FIXED shape — two 4-lane
+// accumulators, folded acc0+acc1, then lanes as (l0+l1)+(l2+l3), then
+// the sequential scalar tail — so a given (backend, n) always sums in
+// the same order: deterministic run-to-run, but a different order (and
+// single-rounding FMA) vs. the scalar backend. Unaligned loads
+// throughout: callers owe no alignment.
+// ---------------------------------------------------------------------------
+
+#if GEM_KERNELS_HAVE_AVX2
+
+__attribute__((target("avx2,fma"))) inline double HSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);   // l0 l1
+  const __m128d hi = _mm256_extractf128_pd(v, 1); // l2 l3
+  const double l0 = _mm_cvtsd_f64(lo);
+  const double l1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  const double l2 = _mm_cvtsd_f64(hi);
+  const double l3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  return (l0 + l1) + (l2 + l3);
+}
+
+__attribute__((target("avx2,fma")))
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    i += 4;
+  }
+  double sum = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma")))
+double SquaredDistanceAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4),
+                                     _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  if (i + 4 <= n) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    i += 4;
+  }
+  double sum = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma")))
+void AddScaledAvx2(double* a, const double* b, double scale, size_t n) {
+  const __m256d s = _mm256_set1_pd(scale);
+  size_t i = 0;
+  // Two independent 4-lane streams per iteration; element-wise, so
+  // unrolling changes no result bits (unlike the reductions).
+  for (; i + 8 <= n; i += 8) {
+    const __m256d r0 = _mm256_fmadd_pd(s, _mm256_loadu_pd(b + i),
+                                       _mm256_loadu_pd(a + i));
+    const __m256d r1 = _mm256_fmadd_pd(s, _mm256_loadu_pd(b + i + 4),
+                                       _mm256_loadu_pd(a + i + 4));
+    _mm256_storeu_pd(a + i, r0);
+    _mm256_storeu_pd(a + i + 4, r1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_fmadd_pd(s, _mm256_loadu_pd(b + i),
+                               _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) a[i] += scale * b[i];
+}
+
+__attribute__((target("avx2,fma")))
+void ScaleAvx2(double* a, double scale, size_t n) {
+  const __m256d s = _mm256_set1_pd(scale);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(a + i, _mm256_mul_pd(s, _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) a[i] *= scale;
+}
+
+__attribute__((target("avx2,fma")))
+void WeightedSumAvx2(double* out, const double* const* inputs,
+                     const double* coeffs, size_t k, size_t n) {
+  // Block over the output so each 4-wide chunk stays in a register
+  // across ALL k inputs (one store per chunk instead of k). Per output
+  // element the accumulation order is still ascending k, matching the
+  // scalar backend's order (only FMA rounding differs).
+  size_t j = 0;
+  // 8-wide blocks: two independent accumulator chains per k-sweep so
+  // the FMA latency of one hides behind the other. Each output element
+  // still accumulates in ascending k.
+  for (; j + 8 <= n; j += 8) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (size_t i = 0; i < k; ++i) {
+      const __m256d c = _mm256_set1_pd(coeffs[i]);
+      acc0 = _mm256_fmadd_pd(c, _mm256_loadu_pd(inputs[i] + j), acc0);
+      acc1 = _mm256_fmadd_pd(c, _mm256_loadu_pd(inputs[i] + j + 4), acc1);
+    }
+    _mm256_storeu_pd(out + j, acc0);
+    _mm256_storeu_pd(out + j + 4, acc1);
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t i = 0; i < k; ++i) {
+      acc = _mm256_fmadd_pd(_mm256_set1_pd(coeffs[i]),
+                            _mm256_loadu_pd(inputs[i] + j), acc);
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  for (; j < n; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < k; ++i) sum += coeffs[i] * inputs[i][j];
+    out[j] = sum;
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void MatVecAvx2(const double* m, int rows, int cols, const double* x,
+                double* y) {
+  for (int r = 0; r < rows; ++r) {
+    y[r] = DotAvx2(m + static_cast<size_t>(r) * cols, x, cols);
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void MatTVecAvx2(const double* m, int rows, int cols, const double* x,
+                 double* y) {
+  for (int r = 0; r < rows; ++r) {
+    const double* row = m + static_cast<size_t>(r) * cols;
+    const __m256d xr = _mm256_set1_pd(x[r]);
+    int c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      _mm256_storeu_pd(
+          y + c, _mm256_fmadd_pd(xr, _mm256_loadu_pd(row + c),
+                                 _mm256_loadu_pd(y + c)));
+    }
+    for (; c < cols; ++c) y[c] += row[c] * x[r];
+  }
+}
+
+constexpr Ops kAvx2Ops = {
+    DotAvx2,        SquaredDistanceAvx2, AddScaledAvx2, ScaleAvx2,
+    WeightedSumAvx2, MatVecAvx2,         MatTVecAvx2,
+};
+
+#endif  // GEM_KERNELS_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// Dispatch. Resolved exactly once at first use (thread-safe local
+// static); GEM_KERNELS overrides the CPU probe, with a downgrade (and
+// stderr warning) when avx2 is requested on hardware without it.
+// ---------------------------------------------------------------------------
+
+struct Dispatch {
+  Backend backend;
+  const Ops* ops;
+};
+
+Dispatch MakeDispatch(Backend backend) {
+#if GEM_KERNELS_HAVE_AVX2
+  if (backend == Backend::kAvx2) return {Backend::kAvx2, &kAvx2Ops};
+#endif
+  return {Backend::kScalar, &kScalarOps};
+}
+
+Dispatch Resolve() {
+  const char* env = std::getenv("GEM_KERNELS");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) {
+      return MakeDispatch(Backend::kScalar);
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      if (Avx2Available()) return MakeDispatch(Backend::kAvx2);
+      std::fprintf(stderr,
+                   "gem: GEM_KERNELS=avx2 but CPU lacks AVX2+FMA; "
+                   "falling back to scalar kernels\n");
+      return MakeDispatch(Backend::kScalar);
+    }
+    std::fprintf(stderr,
+                 "gem: unknown GEM_KERNELS=\"%s\" (want scalar|avx2); "
+                 "using CPU auto-detection\n",
+                 env);
+  }
+  return MakeDispatch(Avx2Available() ? Backend::kAvx2 : Backend::kScalar);
+}
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch = Resolve();
+  return dispatch;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+bool Avx2Available() {
+#if GEM_KERNELS_HAVE_AVX2
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Backend ActiveBackend() { return ActiveDispatch().backend; }
+
+const Ops& Active() { return *ActiveDispatch().ops; }
+
+const Ops& OpsFor(Backend backend) {
+  if (backend == Backend::kAvx2) {
+    GEM_CHECK(Avx2Available());
+#if GEM_KERNELS_HAVE_AVX2
+    return kAvx2Ops;
+#endif
+  }
+  return kScalarOps;
+}
+
+Backend ForceBackendForTest(Backend backend) {
+  const Backend previous = ActiveDispatch().backend;
+  ActiveDispatch() = MakeDispatch(backend);
+  return previous;
+}
+
+}  // namespace gem::math::kernels

@@ -40,40 +40,31 @@ void Matrix::FillGlorot(Rng& rng) {
 
 Vec Matrix::MatVec(const Vec& x) const {
   GEM_CHECK(static_cast<int>(x.size()) == cols_);
-  Vec y(rows_, 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    const double* row = RowPtr(r);
-    double sum = 0.0;
-    for (int c = 0; c < cols_; ++c) sum += row[c] * x[c];
-    y[r] = sum;
-  }
+  Vec y(rows_);
+  kernels::Active().matvec(data_.data(), rows_, cols_, x.data(), y.data());
   return y;
 }
 
 Vec Matrix::MatTVec(const Vec& x) const {
   GEM_CHECK(static_cast<int>(x.size()) == rows_);
   Vec y(cols_, 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    const double* row = RowPtr(r);
-    const double xr = x[r];
-    for (int c = 0; c < cols_; ++c) y[c] += row[c] * xr;
-  }
+  kernels::Active().mattvec(data_.data(), rows_, cols_, x.data(), y.data());
   return y;
 }
 
 void Matrix::AddOuter(const Vec& a, const Vec& b, double scale) {
   GEM_CHECK(static_cast<int>(a.size()) == rows_);
   GEM_CHECK(static_cast<int>(b.size()) == cols_);
+  const kernels::Ops& ops = kernels::Active();
   for (int r = 0; r < rows_; ++r) {
-    double* row = RowPtr(r);
-    const double ar = scale * a[r];
-    for (int c = 0; c < cols_; ++c) row[c] += ar * b[c];
+    ops.add_scaled(RowPtr(r), b.data(), scale * a[r], cols_);
   }
 }
 
 void Matrix::AddScaled(const Matrix& other, double scale) {
   GEM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  kernels::Active().add_scaled(data_.data(), other.data_.data(), scale,
+                               data_.size());
 }
 
 void Matrix::AppendRow(const Vec& v) {

@@ -4,13 +4,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "math/kernels.h"
 #include "math/vec.h"
 
 namespace gem::math {
 
 class Rng;
 
-/// Dense row-major matrix of doubles.
+/// Dense row-major matrix of doubles. Storage is a flat 32-byte-aligned
+/// buffer (kernels::AlignedVec) so the SIMD kernels stream it from an
+/// aligned base; the products below route through the dispatched
+/// kernels in math/kernels.h.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -61,13 +65,13 @@ class Matrix {
   /// column count is taken from v).
   void AppendRow(const Vec& v);
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const kernels::AlignedVec& data() const { return data_; }
+  kernels::AlignedVec& data() { return data_; }
 
  private:
   int rows_;
   int cols_;
-  std::vector<double> data_;
+  kernels::AlignedVec data_;
 };
 
 /// Returns C = A * B.

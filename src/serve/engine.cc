@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "fault/failpoint.h"
+#include "math/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -64,6 +65,13 @@ Engine::Engine(FenceRegistry* registry, EngineOptions options)
   GEM_CHECK(registry_ != nullptr);
   GEM_CHECK(options_.Validate().ok());
   EngineMetrics::Get();  // resolve metric handles off the hot path
+  // Serving latency depends heavily on the dispatched kernel family;
+  // record it where latency dashboards can join on it.
+  obs::MetricsRegistry::Get()
+      .GetGauge("gem_kernel_backend_active",
+                {{"backend", math::kernels::BackendName(
+                                 math::kernels::ActiveBackend())}})
+      .Set(1.0);
   workers_.reserve(options_.num_threads);
   for (int i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

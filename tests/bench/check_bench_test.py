@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Unit test of bench/check_bench.py — the CI perf-regression gate.
+
+Run directly (registered in ctest as check_bench_test):
+
+    python3 tests/bench/check_bench_test.py [path/to/check_bench.py]
+
+The one guarantee that matters most: a synthetically 2x-slower metric
+MUST make the checker exit non-zero (the gate actually gates).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECKER = (sys.argv.pop(1) if len(sys.argv) > 1 else
+           os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "bench", "check_bench.py"))
+
+SERVE = {"workload": "serve_latency", "requests": 400,
+         "p50_ms": 2.0, "p99_ms": 5.0, "mean_ms": 2.2}
+TRAIN = {"workload": "fig9_train", "train_records": 1000,
+         "results": [{"threads": 1, "train_seconds": 4.0,
+                      "infer_batch_seconds": 1.0},
+                     {"threads": 4, "train_seconds": 1.5,
+                      "infer_batch_seconds": 0.4}]}
+KERNELS = {"workload": "kernels", "active_backend": "avx2",
+           "results": [{"kernel": "dot", "dim": 128, "backend": "scalar",
+                        "ns_per_op": 60.0},
+                       {"kernel": "dot", "dim": 128, "backend": "avx2",
+                        "ns_per_op": 21.0}]}
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.base_dir = os.path.join(self._tmp.name, "baselines")
+        self.cur_dir = os.path.join(self._tmp.name, "current")
+        os.makedirs(self.base_dir)
+        os.makedirs(self.cur_dir)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, directory, name, payload):
+        with open(os.path.join(directory, name), "w",
+                  encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+
+    def run_checker(self, *extra):
+        return subprocess.run(
+            [sys.executable, CHECKER, "--baseline-dir", self.base_dir,
+             "--current-dir", self.cur_dir, *extra],
+            capture_output=True, text=True)
+
+    def seed_all(self):
+        for name, payload in (("BENCH_serve.json", SERVE),
+                              ("BENCH_train.json", TRAIN),
+                              ("BENCH_kernels.json", KERNELS)):
+            self.write(self.base_dir, name, payload)
+            self.write(self.cur_dir, name, payload)
+
+    def test_identical_passes(self):
+        self.seed_all()
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK: 0 regression(s)", result.stdout)
+
+    def test_two_x_slower_fails(self):
+        # The acceptance-criteria case: a 2x wall-time regression in any
+        # gated metric must fail the gate.
+        self.seed_all()
+        slower = json.loads(json.dumps(SERVE))
+        slower["p50_ms"] = SERVE["p50_ms"] * 2.0
+        self.write(self.cur_dir, "BENCH_serve.json", slower)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("FAIL", result.stdout)
+        self.assertIn("p50_ms", result.stdout)
+
+    def test_two_x_slower_kernel_entry_fails(self):
+        self.seed_all()
+        slower = json.loads(json.dumps(KERNELS))
+        slower["results"][1]["ns_per_op"] *= 2.0
+        self.write(self.cur_dir, "BENCH_kernels.json", slower)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("kernel=dot", result.stdout)
+        self.assertIn("backend=avx2", result.stdout)
+
+    def test_fifteen_pct_warns_but_passes(self):
+        self.seed_all()
+        warmish = json.loads(json.dumps(TRAIN))
+        warmish["results"][0]["train_seconds"] *= 1.15
+        self.write(self.cur_dir, "BENCH_train.json", warmish)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("WARN", result.stdout)
+        self.assertIn("train_seconds", result.stdout)
+
+    def test_p99_is_warn_only(self):
+        self.seed_all()
+        noisy = json.loads(json.dumps(SERVE))
+        noisy["p99_ms"] = SERVE["p99_ms"] * 3.0
+        self.write(self.cur_dir, "BENCH_serve.json", noisy)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("WARN", result.stdout)
+        self.assertIn("p99_ms", result.stdout)
+
+    def test_faster_passes(self):
+        self.seed_all()
+        faster = json.loads(json.dumps(SERVE))
+        faster["p50_ms"] = SERVE["p50_ms"] / 3.0
+        self.write(self.cur_dir, "BENCH_serve.json", faster)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0)
+
+    def test_reordered_list_entries_still_align(self):
+        self.seed_all()
+        reordered = json.loads(json.dumps(TRAIN))
+        reordered["results"].reverse()
+        self.write(self.cur_dir, "BENCH_train.json", reordered)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK: 0 regression(s)", result.stdout)
+
+    def test_metric_missing_from_current_fails(self):
+        self.seed_all()
+        partial = json.loads(json.dumps(SERVE))
+        del partial["p50_ms"]
+        self.write(self.cur_dir, "BENCH_serve.json", partial)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("missing from current run", result.stdout)
+
+    def test_missing_current_file_is_an_error(self):
+        self.seed_all()
+        os.remove(os.path.join(self.cur_dir, "BENCH_serve.json"))
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 2)
+
+    def test_malformed_current_json_is_an_error(self):
+        self.seed_all()
+        self.write(self.cur_dir, "BENCH_serve.json", "{not json")
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 2)
+
+    def test_empty_baseline_dir_is_an_error(self):
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 2)
+
+    def test_new_metric_in_current_is_reported_not_gated(self):
+        self.seed_all()
+        extended = json.loads(json.dumps(SERVE))
+        extended["p90_ms"] = 3.0
+        self.write(self.cur_dir, "BENCH_serve.json", extended)
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("NEW", result.stdout)
+
+    def test_explicit_name_list_restricts_comparison(self):
+        self.seed_all()
+        slower = json.loads(json.dumps(SERVE))
+        slower["p50_ms"] = SERVE["p50_ms"] * 2.0
+        self.write(self.cur_dir, "BENCH_serve.json", slower)
+        result = self.run_checker("BENCH_train.json")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

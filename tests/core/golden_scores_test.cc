@@ -5,10 +5,17 @@
 // detection, or self-enhancement numerics shows up as a diff here —
 // intentional changes regenerate with:
 //
-//   GEM_REGEN_GOLDEN=1 ./golden_scores_test
+//   GEM_REGEN_GOLDEN=1 GEM_KERNELS=scalar ./golden_scores_test
+//   GEM_REGEN_GOLDEN=1 GEM_KERNELS=avx2   ./golden_scores_test
 //
 // which rewrites tests/data/golden/ in the source tree (commit the
-// result alongside the change that moved the numbers).
+// result alongside the change that moved the numbers). The score
+// fixture is per kernel backend (scores.scalar.golden /
+// scores.avx2.golden): the SIMD backend's fixed-lane-order reductions
+// and single-rounding FMAs are deterministic run-to-run but not
+// bit-identical to the sequential scalar order, so each backend pins
+// its own bits. scores.scalar.golden is byte-identical to the
+// pre-kernel scores.golden — the scalar backend IS the seed numerics.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include "core/gem.h"
+#include "math/kernels.h"
 #include "rf/dataset.h"
 #include "rf/record_io.h"
 
@@ -59,7 +67,10 @@ std::string FormatResult(const InferenceResult& result) {
 TEST(GoldenScoresTest, InferResultsMatchCommittedGolden) {
   const std::string train_path = GoldenDir() + "/train.csv";
   const std::string test_path = GoldenDir() + "/test.csv";
-  const std::string golden_path = GoldenDir() + "/scores.golden";
+  const std::string golden_path =
+      GoldenDir() + "/scores." +
+      math::kernels::BackendName(math::kernels::ActiveBackend()) +
+      ".golden";
   const bool regen = std::getenv("GEM_REGEN_GOLDEN") != nullptr;
 
   if (regen) {

@@ -1,0 +1,289 @@
+// Edge cases and backend agreement for the dispatched SIMD kernels.
+// Sizes deliberately straddle every SIMD boundary (0, 1, the 4-lane
+// width, the 8-element unroll, and off-by-one around each), buffers are
+// also fed in deliberately misaligned (the kernels promise unaligned
+// loads work), and the scalar and AVX2 backends must agree to within
+// floating-point reassociation noise on random inputs.
+
+#include "math/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace gem::math::kernels {
+namespace {
+
+// Every length class the kernels can see: empty, single element,
+// sub-width, exactly one vector, unroll boundaries, and large+odd.
+constexpr size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                             15, 16, 17, 31, 32, 33, 100, 128, 129};
+
+// |a-b| within reassociation/FMA drift of two summation orders. The
+// bound is far looser than observed (a few ULPs) but far tighter than
+// any behavioral difference.
+void ExpectClose(double a, double b) {
+  EXPECT_LE(std::abs(a - b), 1e-9 * std::max(1.0, std::abs(b)))
+      << a << " vs " << b;
+}
+
+std::vector<double> RandomVec(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-2.0, 2.0);
+  return v;
+}
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend)
+      : previous_(ForceBackendForTest(backend)) {}
+  ~ScopedBackend() { ForceBackendForTest(previous_); }
+
+ private:
+  Backend previous_;
+};
+
+TEST(KernelsTest, BackendNamesMatchEnvValues) {
+  EXPECT_STREQ("scalar", BackendName(Backend::kScalar));
+  EXPECT_STREQ("avx2", BackendName(Backend::kAvx2));
+}
+
+TEST(KernelsTest, ForceBackendForTestRoundTrips) {
+  const Backend original = ActiveBackend();
+  const Backend previous = ForceBackendForTest(Backend::kScalar);
+  EXPECT_EQ(previous, original);
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  EXPECT_EQ(Active().dot, OpsFor(Backend::kScalar).dot);
+  ForceBackendForTest(original);
+  EXPECT_EQ(ActiveBackend(), original);
+}
+
+TEST(KernelsTest, EmptyInputsAreWellDefined) {
+  for (const Backend backend :
+       {Backend::kScalar, Backend::kAvx2}) {
+    if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+    const Ops& ops = OpsFor(backend);
+    EXPECT_EQ(0.0, ops.dot(nullptr, nullptr, 0));
+    EXPECT_EQ(0.0, ops.squared_distance(nullptr, nullptr, 0));
+    ops.add_scaled(nullptr, nullptr, 2.0, 0);
+    ops.scale(nullptr, 2.0, 0);
+    ops.weighted_sum(nullptr, nullptr, nullptr, 0, 0);
+    double y = 7.0;
+    ops.matvec(nullptr, 0, 4, nullptr, &y);  // rows == 0: y untouched
+    ops.mattvec(nullptr, 0, 0, nullptr, &y);
+    EXPECT_EQ(7.0, y);
+  }
+}
+
+TEST(KernelsTest, SingleElement) {
+  for (const Backend backend :
+       {Backend::kScalar, Backend::kAvx2}) {
+    if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+    const Ops& ops = OpsFor(backend);
+    const double a[] = {3.0};
+    const double b[] = {-0.5};
+    EXPECT_DOUBLE_EQ(-1.5, ops.dot(a, b, 1));
+    EXPECT_DOUBLE_EQ(12.25, ops.squared_distance(a, b, 1));
+    double out[] = {1.0};
+    ops.add_scaled(out, b, 4.0, 1);
+    EXPECT_DOUBLE_EQ(-1.0, out[0]);
+    ops.scale(out, -2.0, 1);
+    EXPECT_DOUBLE_EQ(2.0, out[0]);
+  }
+}
+
+TEST(KernelsTest, DotMatchesReferenceAtEverySize) {
+  Rng rng(11);
+  for (const size_t n : kSizes) {
+    const std::vector<double> a = RandomVec(rng, n);
+    const std::vector<double> b = RandomVec(rng, n);
+    double reference = 0.0;
+    for (size_t i = 0; i < n; ++i) reference += a[i] * b[i];
+    for (const Backend backend :
+         {Backend::kScalar, Backend::kAvx2}) {
+      if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+      ExpectClose(OpsFor(backend).dot(a.data(), b.data(), n), reference);
+    }
+    // Scalar is defined to BE the sequential reference, bit-for-bit.
+    EXPECT_EQ(OpsFor(Backend::kScalar).dot(a.data(), b.data(), n),
+              reference);
+  }
+}
+
+TEST(KernelsTest, SquaredDistanceMatchesReferenceAtEverySize) {
+  Rng rng(12);
+  for (const size_t n : kSizes) {
+    const std::vector<double> a = RandomVec(rng, n);
+    const std::vector<double> b = RandomVec(rng, n);
+    double reference = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = a[i] - b[i];
+      reference += d * d;
+    }
+    for (const Backend backend :
+         {Backend::kScalar, Backend::kAvx2}) {
+      if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+      ExpectClose(OpsFor(backend).squared_distance(a.data(), b.data(), n),
+                  reference);
+    }
+  }
+}
+
+TEST(KernelsTest, AddScaledAndScaleMatchReferenceAtEverySize) {
+  Rng rng(13);
+  for (const size_t n : kSizes) {
+    const std::vector<double> base = RandomVec(rng, n);
+    const std::vector<double> b = RandomVec(rng, n);
+    for (const Backend backend :
+         {Backend::kScalar, Backend::kAvx2}) {
+      if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+      const Ops& ops = OpsFor(backend);
+      std::vector<double> got = base;
+      ops.add_scaled(got.data(), b.data(), 0.75, n);
+      ops.scale(got.data(), -3.0, n);
+      for (size_t i = 0; i < n; ++i) {
+        // Element-wise ops have no reduction order: both backends must
+        // match the reference exactly (FMA on the AVX2 path rounds
+        // once, so allow 1-ULP-scale drift there).
+        const double want = (base[i] + 0.75 * b[i]) * -3.0;
+        ExpectClose(got[i], want);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, WeightedSumAccumulatesInAscendingOrder) {
+  Rng rng(14);
+  for (const size_t n : kSizes) {
+    for (const size_t k : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+      std::vector<std::vector<double>> inputs;
+      std::vector<const double*> ptrs;
+      for (size_t j = 0; j < k; ++j) {
+        inputs.push_back(RandomVec(rng, n));
+        ptrs.push_back(inputs.back().data());
+      }
+      const std::vector<double> coeffs = RandomVec(rng, k);
+      // The documented semantics: overwrite out, ascending-k order.
+      std::vector<double> reference(n, 0.0);
+      for (size_t j = 0; j < k; ++j) {
+        for (size_t i = 0; i < n; ++i) {
+          reference[i] += coeffs[j] * inputs[j][i];
+        }
+      }
+      for (const Backend backend :
+           {Backend::kScalar, Backend::kAvx2}) {
+        if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+        std::vector<double> got(n, 123.0);  // must be overwritten
+        OpsFor(backend).weighted_sum(got.data(), ptrs.data(),
+                                     coeffs.data(), k, n);
+        for (size_t i = 0; i < n; ++i) ExpectClose(got[i], reference[i]);
+        if (backend == Backend::kScalar) {
+          EXPECT_EQ(got, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, MatVecAndMatTVecMatchReference) {
+  Rng rng(15);
+  for (const int rows : {0, 1, 3, 16}) {
+    for (const int cols : {0, 1, 5, 32, 33}) {
+      const std::vector<double> m =
+          RandomVec(rng, static_cast<size_t>(rows) * cols);
+      const std::vector<double> x = RandomVec(rng, cols);
+      const std::vector<double> xt = RandomVec(rng, rows);
+      std::vector<double> y_ref(rows, 0.0);
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) y_ref[r] += m[r * cols + c] * x[c];
+      }
+      std::vector<double> yt_ref(cols, 0.5);  // mattvec accumulates
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          yt_ref[c] += m[r * cols + c] * xt[r];
+        }
+      }
+      for (const Backend backend :
+           {Backend::kScalar, Backend::kAvx2}) {
+        if (backend == Backend::kAvx2 && !Avx2Available()) continue;
+        const Ops& ops = OpsFor(backend);
+        std::vector<double> y(rows, -9.0);
+        ops.matvec(m.data(), rows, cols, x.data(), y.data());
+        for (int r = 0; r < rows; ++r) ExpectClose(y[r], y_ref[r]);
+        std::vector<double> yt(cols, 0.5);
+        ops.mattvec(m.data(), rows, cols, xt.data(), yt.data());
+        for (int c = 0; c < cols; ++c) ExpectClose(yt[c], yt_ref[c]);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, UnalignedBuffersWork) {
+  // The kernels use unaligned loads; feed pointers offset one double
+  // (8 bytes) off the allocator's 32-byte boundary to prove it.
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this CPU";
+  Rng rng(16);
+  constexpr size_t kN = 67;
+  AlignedVec a_buf = [&] {
+    AlignedVec v(kN + 1);
+    for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+    return v;
+  }();
+  AlignedVec b_buf = a_buf;
+  for (double& x : b_buf) x = rng.Uniform(-1.0, 1.0);
+  const double* a = a_buf.data() + 1;
+  const double* b = b_buf.data() + 1;
+  ASSERT_NE(reinterpret_cast<uintptr_t>(a) % 32, 0u);
+
+  const Ops& avx2 = OpsFor(Backend::kAvx2);
+  const Ops& scalar = OpsFor(Backend::kScalar);
+  ExpectClose(avx2.dot(a, b, kN), scalar.dot(a, b, kN));
+  ExpectClose(avx2.squared_distance(a, b, kN),
+              scalar.squared_distance(a, b, kN));
+  AlignedVec out_a(kN + 1, 0.25), out_s(kN + 1, 0.25);
+  avx2.add_scaled(out_a.data() + 1, b, 1.5, kN);
+  scalar.add_scaled(out_s.data() + 1, b, 1.5, kN);
+  for (size_t i = 0; i <= kN; ++i) ExpectClose(out_a[i], out_s[i]);
+}
+
+TEST(KernelsTest, ScalarAndAvx2AgreeOnRandomInputs) {
+  // The blanket differential: both backends over many random draws of
+  // awkward sizes. (End-to-end model agreement is covered separately by
+  // kernels_differential_test.)
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this CPU";
+  Rng rng(17);
+  const Ops& avx2 = OpsFor(Backend::kAvx2);
+  const Ops& scalar = OpsFor(Backend::kScalar);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(201));
+    const std::vector<double> a = RandomVec(rng, n);
+    const std::vector<double> b = RandomVec(rng, n);
+    ExpectClose(avx2.dot(a.data(), b.data(), n),
+                scalar.dot(a.data(), b.data(), n));
+    ExpectClose(avx2.squared_distance(a.data(), b.data(), n),
+                scalar.squared_distance(a.data(), b.data(), n));
+    std::vector<double> out_a = a, out_s = a;
+    avx2.add_scaled(out_a.data(), b.data(), -0.3, n);
+    scalar.add_scaled(out_s.data(), b.data(), -0.3, n);
+    for (size_t i = 0; i < n; ++i) ExpectClose(out_a[i], out_s[i]);
+  }
+}
+
+TEST(KernelsTest, ScopedForceIsHonoredByActive) {
+  {
+    ScopedBackend forced(Backend::kScalar);
+    EXPECT_EQ(Backend::kScalar, ActiveBackend());
+    const double a[] = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(14.0, Active().dot(a, a, 3));
+  }
+  // Destructor restored whatever the process resolved at startup.
+  EXPECT_EQ(ActiveBackend(), ActiveBackend());
+}
+
+}  // namespace
+}  // namespace gem::math::kernels
