@@ -5,8 +5,14 @@
 // Timing mode (used by CI and the README's threading numbers):
 //   bench_fig9_training_update --timing_only [--threads=1,2,4]
 //                              [--bench_out=BENCH_train.json]
+//                              [--trace_out=trace.json]
 // trains the same workload once per thread count, times Train and the
 // batched inference pass, and writes the measurements as JSON.
+// --trace_out (or GEM_PROFILE=<path>) additionally records the
+// per-thread timeline, writes it as Chrome trace-event JSON, and
+// prints a per-stage cost-attribution table per thread count; the
+// per-stage exclusive/inclusive seconds also land in the bench JSON
+// under "stages".
 
 #include <chrono>
 #include <cstdio>
@@ -20,6 +26,9 @@
 #include "eval/csv.h"
 #include "eval/table.h"
 #include "math/metrics.h"
+#include "obs/attribution.h"
+#include "obs/resource_sampler.h"
+#include "obs/timeline.h"
 #include "rf/dataset.h"
 
 namespace {
@@ -63,16 +72,33 @@ double Seconds(std::chrono::steady_clock::time_point start) {
 ///   {"workload": "fig9_train", "train_records": ...,
 ///    "results": [{"threads": 1, "train_seconds": ..., ...}, ...]}
 int RunTimingOnly(const std::vector<int>& thread_counts,
-                  const std::string& bench_out) {
+                  const std::string& bench_out,
+                  const std::string& trace_out) {
   rf::DatasetOptions options;
   options.seed = 321;
   const rf::Dataset data =
       rf::GenerateScenarioDataset(rf::HomePreset(2), options);
 
+  const bool tracing = !trace_out.empty();
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  if (tracing) {
+    // Training emits a few spans per batch per thread across several
+    // runs; size the rings generously so the capture has no holes.
+    obs::TimelineOptions timeline_options;
+    timeline_options.events_per_thread = 1 << 17;
+    obs::Timeline::Enable(timeline_options);
+    obs::Timeline::SetCurrentThreadName("main");
+    sampler = std::make_unique<obs::ResourceSampler>();
+  }
+
   struct Timing {
     int threads;
     double train_seconds;
     double infer_batch_seconds;
+    /// Timeline window of this run, for per-run attribution.
+    int64_t window_begin_ns;
+    int64_t window_end_ns;
+    std::string stages_json;
   };
   std::vector<Timing> timings;
   eval::TextTable table({"Threads", "Train (s)", "InferBatch (s)",
@@ -83,6 +109,7 @@ int RunTimingOnly(const std::vector<int>& thread_counts,
     config.bisage.num_threads = threads;
     core::Gem gem(config);
 
+    const int64_t window_begin_ns = obs::Timeline::NowNs();
     const auto train_start = std::chrono::steady_clock::now();
     if (!gem.Train(data.train).ok()) {
       std::fprintf(stderr, "training failed at %d threads\n", threads);
@@ -98,9 +125,11 @@ int RunTimingOnly(const std::vector<int>& thread_counts,
       std::fprintf(stderr, "batch size mismatch at %d threads\n", threads);
       return 1;
     }
+    const int64_t window_end_ns = obs::Timeline::NowNs();
 
     if (baseline == 0.0) baseline = train_s;
-    timings.push_back({threads, train_s, infer_s});
+    timings.push_back({threads, train_s, infer_s, window_begin_ns,
+                       window_end_ns, ""});
     table.AddRow({std::to_string(threads), eval::FormatValue(train_s),
                   eval::FormatValue(infer_s),
                   eval::FormatValue(baseline / train_s)});
@@ -109,6 +138,32 @@ int RunTimingOnly(const std::vector<int>& thread_counts,
   }
   std::printf("=== Training / batched-inference timing ===\n\n");
   table.Print();
+
+  if (tracing) {
+    sampler->Stop();
+    obs::Timeline::Disable();
+    const std::vector<obs::TimelineEventView> events =
+        obs::Timeline::Snapshot();
+    for (Timing& timing : timings) {
+      const obs::AttributionReport report = obs::BuildAttribution(
+          events, timing.window_begin_ns, timing.window_end_ns);
+      timing.stages_json = obs::AttributionJson(report);
+      std::printf("\n=== Stage attribution @ %d thread(s) ===\n\n%s",
+                  timing.threads, obs::AttributionTable(report).c_str());
+    }
+    const Status written = obs::WriteChromeTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%llu events, %llu dropped)\n",
+                 trace_out.c_str(),
+                 static_cast<unsigned long long>(
+                     obs::Timeline::RecordedEvents()),
+                 static_cast<unsigned long long>(
+                     obs::Timeline::DroppedEvents()));
+  }
 
   if (!bench_out.empty()) {
     std::ofstream out(bench_out);
@@ -123,8 +178,11 @@ int RunTimingOnly(const std::vector<int>& thread_counts,
       if (i > 0) out << ", ";
       out << "{\"threads\": " << timings[i].threads
           << ", \"train_seconds\": " << timings[i].train_seconds
-          << ", \"infer_batch_seconds\": " << timings[i].infer_batch_seconds
-          << "}";
+          << ", \"infer_batch_seconds\": " << timings[i].infer_batch_seconds;
+      if (!timings[i].stages_json.empty()) {
+        out << ", \"stages\": " << timings[i].stages_json;
+      }
+      out << "}";
     }
     out << "]}\n";
     std::fprintf(stderr, "wrote %s\n", bench_out.c_str());
@@ -157,9 +215,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--timing_only") == 0) timing_only = true;
   }
   if (timing_only) {
+    std::string trace_out = FlagValueFromArgs(argc, argv, "--trace_out=");
+    if (trace_out.empty()) trace_out = obs::TraceOutPathFromEnv();
     return RunTimingOnly(
         ParseThreadList(FlagValueFromArgs(argc, argv, "--threads=")),
-        FlagValueFromArgs(argc, argv, "--bench_out="));
+        FlagValueFromArgs(argc, argv, "--bench_out="), trace_out);
   }
 
   const std::string csv_dir = eval::CsvDirFromArgs(argc, argv);

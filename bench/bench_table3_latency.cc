@@ -6,10 +6,13 @@
 //
 // Serve mode (used by CI's latency smoke step):
 //   bench_table3_latency --bench_out=BENCH_serve.json [--requests=N]
+//                        [--trace_out=trace.json]
 // skips google-benchmark and instead drives the full serving path —
 // FenceRegistry lookup, per-fence serialization, Gem::Infer — through
 // serve::Engine::InferBlocking, then writes p50/p99/mean request
-// latency as JSON.
+// latency as JSON. --trace_out (or GEM_PROFILE=<path>) records the
+// per-thread timeline to Chrome trace-event JSON and adds a "stages"
+// attribution array to the bench JSON.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +26,9 @@
 
 #include "base/check.h"
 #include "core/gem.h"
+#include "obs/attribution.h"
+#include "obs/resource_sampler.h"
+#include "obs/timeline.h"
 #include "rf/dataset.h"
 #include "serve/engine.h"
 #include "serve/fence_registry.h"
@@ -127,11 +133,20 @@ double PercentileMs(const std::vector<double>& sorted, double q) {
 /// distribution to `bench_out` as JSON:
 ///   {"workload": "serve_latency", "requests": ...,
 ///    "p50_ms": ..., "p99_ms": ..., "mean_ms": ...}
-int RunServeLatency(const std::string& bench_out, int request_count) {
+int RunServeLatency(const std::string& bench_out, int request_count,
+                    const std::string& trace_out) {
   LatencySetup setup;
   serve::FenceRegistry registry;
   const auto generation = registry.Install("home", std::move(*setup.gem));
   GEM_CHECK(generation.ok());
+
+  const bool tracing = !trace_out.empty();
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  if (tracing) {
+    obs::Timeline::Enable();
+    obs::Timeline::SetCurrentThreadName("main");
+    sampler = std::make_unique<obs::ResourceSampler>();
+  }
 
   serve::EngineOptions options;
   serve::Engine engine(&registry, options);
@@ -164,6 +179,24 @@ int RunServeLatency(const std::string& bench_out, int request_count) {
   }
   engine.Shutdown();
 
+  std::string stages_json;
+  if (tracing) {
+    sampler->Stop();
+    obs::Timeline::Disable();
+    const obs::AttributionReport report =
+        obs::BuildAttribution(obs::Timeline::Snapshot());
+    stages_json = obs::AttributionJson(report);
+    std::printf("\n=== Stage attribution ===\n\n%s\n",
+                obs::AttributionTable(report).c_str());
+    const Status written = obs::WriteChromeTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", trace_out.c_str());
+  }
+
   std::sort(latencies_ms.begin(), latencies_ms.end());
   double sum = 0.0;
   for (const double ms : latencies_ms) sum += ms;
@@ -183,7 +216,9 @@ int RunServeLatency(const std::string& bench_out, int request_count) {
   out << "{\"workload\": \"serve_latency\", \"fence\": \"home\", "
       << "\"threads\": " << options.num_threads
       << ", \"requests\": " << request_count << ", \"p50_ms\": " << p50
-      << ", \"p99_ms\": " << p99 << ", \"mean_ms\": " << mean << "}\n";
+      << ", \"p99_ms\": " << p99 << ", \"mean_ms\": " << mean;
+  if (!stages_json.empty()) out << ", \"stages\": " << stages_json;
+  out << "}\n";
   return out ? 0 : 1;
 }
 
@@ -201,7 +236,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--requests must be >= 1\n");
       return 2;
     }
-    return RunServeLatency(bench_out, requests);
+    std::string trace_out = FlagValueFromArgs(argc, argv, "--trace_out=");
+    if (trace_out.empty()) trace_out = obs::TraceOutPathFromEnv();
+    return RunServeLatency(bench_out, requests, trace_out);
   }
 
   std::printf("=== Table III: inference time breakdown (ms) ===\n");

@@ -33,6 +33,19 @@
 //   --metrics_out=<path>   Write a gem::obs metrics dump after the run
 //                          ("-" = stdout).
 //   --metrics_format=FMT   prom | json | table (default: table).
+//   --trace_out=<path>     Record the per-thread timeline profiler for
+//                          the whole run and write Chrome trace-event
+//                          JSON (open in Perfetto / chrome://tracing).
+//                          GEM_PROFILE=<path> does the same without a
+//                          flag.
+//
+// serve additionally accepts:
+//   --metrics_every_ms=N   Rewrite --metrics_out every N ms while the
+//                          replay runs, so a long-running serve is
+//                          observable before it exits.
+// serve also traps SIGINT: the replay stops at the next request and
+// the run finishes normally — final metrics dump, trace write, clean
+// engine shutdown — instead of dying with half-written output.
 //
 // Unknown --flags and malformed flag values are errors: usage goes to
 // stderr and the exit code is 2.
@@ -42,9 +55,13 @@
 // so real-device scan logs can be converted and replayed.
 
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +70,8 @@
 #include "fault/failpoint.h"
 #include "math/metrics.h"
 #include "obs/export.h"
+#include "obs/resource_sampler.h"
+#include "obs/timeline.h"
 #include "rf/dataset.h"
 #include "rf/record_io.h"
 #include "serve/engine.h"
@@ -72,8 +91,10 @@ constexpr const char* kUsage =
     "--requests=<records.csv>\n"
     "          [--threads=N] [--queue_depth=N] [--deadline_ms=N]\n"
     "          [--failpoints=SPEC]\n"
+    "          [--metrics_every_ms=N]\n"
     "  any command: --metrics_out=<path|-> "
-    "--metrics_format={prom,json,table}\n";
+    "--metrics_format={prom,json,table}\n"
+    "               --trace_out=<path|-> (Chrome trace-event JSON)\n";
 
 int Usage() {
   std::fputs(kUsage, stderr);
@@ -112,12 +133,21 @@ struct MetricsFlags {
   obs::ExportFormat format = obs::ExportFormat::kTable;
 };
 
-/// Common flag table: every subcommand accepts the metrics flags;
-/// anything not in `allowed` (nor a metrics flag) is a usage error.
+/// Common flag table: every subcommand accepts the metrics and trace
+/// flags; anything not in `allowed` (nor a common flag) is a usage
+/// error.
 bool CheckFlags(const ParsedArgs& args,
                 const std::vector<std::string>& allowed,
-                MetricsFlags* metrics) {
+                MetricsFlags* metrics, std::string* trace_out) {
   for (const auto& [key, value] : args.flags) {
+    if (key == "trace_out") {
+      if (value.empty()) {
+        std::fprintf(stderr, "--trace_out needs a path (or -)\n");
+        return false;
+      }
+      *trace_out = value;
+      continue;
+    }
     if (key == "metrics_out") {
       if (value.empty()) {
         std::fprintf(stderr, "--metrics_out needs a path (or -)\n");
@@ -330,7 +360,53 @@ int Train(const ParsedArgs& args) {
   return 0;
 }
 
-int Serve(const ParsedArgs& args) {
+/// SIGINT request: the handler only sets the flag; the serve replay
+/// loop polls it and winds down normally (final metrics dump, trace
+/// write, engine drain) instead of dying mid-output.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSigint(int) { g_interrupted = 1; }
+
+/// Rewrites the metrics dump every `period_ms` on a background thread
+/// until stopped, so a long-running serve is observable while it runs
+/// (the file always holds the latest dump).
+class PeriodicMetricsFlusher {
+ public:
+  PeriodicMetricsFlusher(const MetricsFlags& flags, int period_ms)
+      : flags_(flags), period_ms_(period_ms), thread_([this] { Loop(); }) {}
+  ~PeriodicMetricsFlusher() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                         [this] { return stopping_; })) {
+      lock.unlock();
+      const Status status = obs::WriteMetrics(flags_.out, flags_.format);
+      if (!status.ok()) {
+        std::fprintf(stderr, "periodic metrics flush failed: %s\n",
+                     status.ToString().c_str());
+      }
+      lock.lock();
+    }
+  }
+
+  const MetricsFlags flags_;
+  const int period_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;  // guarded by mutex_
+  std::thread thread_;
+};
+
+int Serve(const ParsedArgs& args, const MetricsFlags& metrics) {
   const std::vector<std::string> snapshot_paths =
       SplitCsvList(FlagValue(args, "snapshots"));
   const std::string requests_path = FlagValue(args, "requests");
@@ -339,6 +415,18 @@ int Serve(const ParsedArgs& args) {
                  "serve needs --snapshots=<a.gem,...> and "
                  "--requests=<records.csv>\n");
     return 2;
+  }
+  int metrics_every_ms = 0;
+  const std::string every_s = FlagValue(args, "metrics_every_ms");
+  if (!every_s.empty()) {
+    if (!ParsePositiveInt(every_s, "metrics_every_ms", &metrics_every_ms)) {
+      return 2;
+    }
+    if (!metrics.requested) {
+      std::fprintf(stderr,
+                   "--metrics_every_ms needs --metrics_out to flush to\n");
+      return 2;
+    }
   }
   serve::EngineOptions options;
   const std::string threads_s = FlagValue(args, "threads");
@@ -403,10 +491,25 @@ int Serve(const ParsedArgs& args) {
 
   const std::vector<std::string> fence_ids = registry.FenceIds();
   serve::Engine engine(&registry, options);
+  std::unique_ptr<PeriodicMetricsFlusher> flusher;
+  if (metrics_every_ms > 0) {
+    flusher = std::make_unique<PeriodicMetricsFlusher>(metrics,
+                                                       metrics_every_ms);
+  }
+  std::signal(SIGINT, HandleSigint);
   std::printf("fence_id,timestamp_s,decision,score,generation\n");
   size_t shed = 0;
   size_t failed = 0;
+  size_t replayed = 0;
   for (size_t i = 0; i < requests.value().size(); ++i) {
+    if (g_interrupted) {
+      std::fprintf(stderr,
+                   "SIGINT: stopping replay after %zu requests, "
+                   "draining engine\n",
+                   replayed);
+      break;
+    }
+    ++replayed;
     serve::ServeRequest request;
     request.fence_id = fence_ids[i % fence_ids.size()];
     request.record = requests.value()[i];
@@ -414,8 +517,8 @@ int Serve(const ParsedArgs& args) {
     // The bounded queue sheds under overload; a driver replaying a file
     // just retries after a beat. Admission-failpoint injections also
     // surface as kUnavailable, so cap the retries.
-    for (int attempt = 0;
-         response.status.code() == StatusCode::kUnavailable && attempt < 100;
+    for (int attempt = 0; response.status.code() == StatusCode::kUnavailable &&
+                          attempt < 100 && !g_interrupted;
          ++attempt) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       ++shed;
@@ -438,12 +541,13 @@ int Serve(const ParsedArgs& args) {
                 static_cast<unsigned long long>(response.fence_generation));
   }
   engine.Shutdown();
+  flusher.reset();  // last periodic dump wins over the final one below
+  std::signal(SIGINT, SIG_DFL);
   std::fprintf(stderr, "served %zu requests across %zu fences (%zu "
                "retried after backpressure, %zu failed)\n",
-               requests.value().size() - failed, fence_ids.size(), shed,
-               failed);
+               replayed - failed, fence_ids.size(), shed, failed);
   // Every request failing means the setup is wrong, not the requests.
-  return failed == requests.value().size() && failed > 0 ? 1 : 0;
+  return failed == replayed && failed > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -460,12 +564,21 @@ int main(int argc, char** argv) {
     allowed = {"snapshot_out", "threads"};
   } else if (command == "serve") {
     allowed = {"snapshots", "requests", "threads", "queue_depth",
-               "deadline_ms", "failpoints"};
+               "deadline_ms", "failpoints", "metrics_every_ms"};
   } else if (command != "simulate" && command != "run") {
     return Usage();
   }
   MetricsFlags metrics;
-  if (!CheckFlags(args, allowed, &metrics)) return Usage();
+  std::string trace_out;
+  if (!CheckFlags(args, allowed, &metrics, &trace_out)) return Usage();
+  if (trace_out.empty()) trace_out = obs::TraceOutPathFromEnv();
+
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  if (!trace_out.empty()) {
+    obs::Timeline::Enable();
+    obs::Timeline::SetCurrentThreadName("main");
+    sampler = std::make_unique<obs::ResourceSampler>();
+  }
 
   int code;
   if (command == "simulate") {
@@ -475,7 +588,20 @@ int main(int argc, char** argv) {
   } else if (command == "train") {
     code = Train(args);
   } else {
-    code = Serve(args);
+    code = Serve(args, metrics);
+  }
+
+  if (!trace_out.empty()) {
+    sampler->Stop();
+    obs::Timeline::Disable();
+    const Status written = obs::WriteChromeTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      if (code == 0) code = 1;
+    } else {
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    }
   }
   const int metrics_code = DumpMetrics(metrics);
   return code != 0 ? code : metrics_code;

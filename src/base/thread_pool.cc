@@ -1,10 +1,14 @@
 #include "base/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "base/check.h"
 #include "fault/failpoint.h"
+#include "obs/timeline.h"
+#include "obs/trace_context.h"
 
 namespace gem {
 
@@ -37,7 +41,11 @@ ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
   const int workers = options_.num_threads - 1;
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::Timeline::SetCurrentThreadName("pool-worker-" +
+                                          std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 
@@ -55,7 +63,36 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard lock(mutex_);
     if (!shutting_down_ && !workers_.empty()) {
-      queue_.push_back(std::move(fn));
+      if (obs::Timeline::IsEnabled()) {
+        // Carry the submitter's trace context across the queue hop and
+        // account the enqueue->dequeue gap as an async "pool.queue_wait"
+        // interval parented to the submitting span. The task body runs
+        // under a "pool.task" span so worker-side child spans (gradient
+        // chunks etc.) attach to the right request/operation.
+        const obs::TraceContext submitter = obs::CurrentTraceContext();
+        const auto enqueued_at = std::chrono::steady_clock::now();
+        queue_.push_back([fn = std::move(fn), submitter, enqueued_at] {
+          const auto dequeued_at = std::chrono::steady_clock::now();
+          const uint64_t trace_id = submitter.trace_id != 0
+                                        ? submitter.trace_id
+                                        : obs::NewTraceId();
+          obs::Timeline::RecordAsyncSpan("pool.queue_wait", enqueued_at,
+                                         dequeued_at, trace_id,
+                                         obs::NewSpanId(),
+                                         submitter.span_id);
+          const obs::TraceContext task_context{trace_id, obs::NewSpanId()};
+          {
+            obs::TraceContextScope scope(task_context);
+            fn();
+          }
+          obs::Timeline::RecordSpan("pool.task", dequeued_at,
+                                    std::chrono::steady_clock::now(),
+                                    trace_id, task_context.span_id,
+                                    submitter.span_id, /*depth=*/0);
+        });
+      } else {
+        queue_.push_back(std::move(fn));
+      }
       work_available_.notify_one();
       return;
     }

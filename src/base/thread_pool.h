@@ -59,6 +59,13 @@ class ThreadPool {
 
   /// Enqueues fn; runs it inline when the pool has no workers (a
   /// 1-thread pool) or is shutting down.
+  ///
+  /// When the timeline profiler is enabled (obs::Timeline), the
+  /// submitter's TraceContext rides along with the task: the worker
+  /// records the enqueue->dequeue gap as a "pool.queue_wait" interval
+  /// and runs fn under a "pool.task" span parented to the submitting
+  /// span, so traces stay connected across the thread hop. Inline
+  /// execution keeps the caller's context and records no queue wait.
   void Submit(std::function<void()> fn);
 
   /// Stops intake, drains the queue, joins the workers. Idempotent.

@@ -311,9 +311,12 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
   // is invariant to the chunking itself (= to the thread count).
   std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>>
       chunk_pairs(pool.num_threads());
+  {
+  GEM_TRACE_SPAN("bisage.walks");
   pool.ParallelFor(
       static_cast<long>(starts.size()),
       [&](int chunk, long begin, long end) {
+        GEM_TRACE_SPAN("bisage.walk_chunk");
         auto& out = chunk_pairs[chunk];
         math::Rng chunk_rng(
             math::Rng::StreamSeed(config_.seed ^ kWalkStreamSalt,
@@ -345,15 +348,19 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
           }
         }
       });
+  }
   walk_count.Increment(starts.size() *
                        static_cast<size_t>(config_.walks_per_node));
 
   std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
-  size_t total_pairs = 0;
-  for (const auto& chunk : chunk_pairs) total_pairs += chunk.size();
-  pairs.reserve(total_pairs);
-  for (const auto& chunk : chunk_pairs) {
-    pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+  {
+    GEM_TRACE_SPAN("bisage.concat_pairs");
+    size_t total_pairs = 0;
+    for (const auto& chunk : chunk_pairs) total_pairs += chunk.size();
+    pairs.reserve(total_pairs);
+    for (const auto& chunk : chunk_pairs) {
+      pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+    }
   }
   if (pairs.empty()) {
     return Status::FailedPrecondition("graph has no edges to walk");
@@ -373,9 +380,12 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
   uint64_t group_stream = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     const auto epoch_start = std::chrono::steady_clock::now();
-    math::Rng shuffle_rng(math::Rng::StreamSeed(
-        config_.seed ^ kShuffleStreamSalt, static_cast<uint64_t>(epoch)));
-    shuffle_rng.Shuffle(pairs);
+    {
+      GEM_TRACE_SPAN("bisage.shuffle");
+      math::Rng shuffle_rng(math::Rng::StreamSeed(
+          config_.seed ^ kShuffleStreamSalt, static_cast<uint64_t>(epoch)));
+      shuffle_rng.Shuffle(pairs);
+    }
     double epoch_loss = 0.0;
     long loss_terms = 0;
 
@@ -392,6 +402,7 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
       pool.ParallelForChunked(
           num_groups, std::min<long>(pool.num_threads(), num_groups),
           [&](int, long group_begin, long group_end) {
+            GEM_TRACE_SPAN("bisage.gradient");
             for (long g = group_begin; g < group_end; ++g) {
               const auto [pair_begin, pair_end] =
                   StaticChunkRange(batch_size, num_groups, g);
@@ -428,12 +439,18 @@ Status BiSage::Train(const graph::BipartiteGraph& graph) {
               tape.Backward(&result.sink);
             }
           });
-      for (GroupResult& result : groups) {
-        result.sink.FlushToParams();
-        epoch_loss += result.loss;
-        loss_terms += result.terms;
+      {
+        // Serial per-batch tail: fold the group sinks in group-index
+        // order, then one Adam step — the suspected scaling
+        // bottleneck of ROADMAP item 1, now directly measurable.
+        GEM_TRACE_SPAN("bisage.reduce");
+        for (GroupResult& result : groups) {
+          result.sink.FlushToParams();
+          epoch_loss += result.loss;
+          loss_terms += result.terms;
+        }
+        adam_->Step();
       }
-      adam_->Step();
       group_stream += static_cast<uint64_t>(num_groups);
       batch_start += static_cast<size_t>(batch_size);
     }
@@ -736,6 +753,7 @@ std::vector<StatusOr<math::Vec>> BiSageEmbedder::EmbedNewBatch(
   model_.thread_pool().ParallelFor(
       static_cast<long>(records.size()),
       [&](int chunk, long begin, long end) {
+        GEM_TRACE_SPAN("bisage.embed_chunk");
         BiSage::InferScratch& scratch = scratches[chunk];
         for (long i = begin; i < end; ++i) {
           if (connected[i]) {

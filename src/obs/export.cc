@@ -16,6 +16,30 @@ std::string FormatNumber(double value) {
   return buf;
 }
 
+/// Prometheus exposition-format label-value escaping (promtool
+/// rules): backslash, double quote, and newline must be escaped
+/// inside the quoted value.
+std::string PromEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
                        const std::string& extra_value = "") {
   if (labels.empty() && extra_key == nullptr) return "";
@@ -26,14 +50,14 @@ std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
     first = false;
     out += k;
     out += "=\"";
-    out += v;
+    out += PromEscape(v);
     out += '"';
   }
   if (extra_key != nullptr) {
     if (!first) out += ',';
     out += extra_key;
     out += "=\"";
-    out += extra_value;
+    out += PromEscape(extra_value);
     out += '"';
   }
   out += '}';

@@ -136,6 +136,23 @@ class MetricsRegistry {
                           const Labels& labels = {});
 
   /// Snapshot of every registered series, sorted by (name, labels).
+  ///
+  /// Staleness contract: Snapshot() may run concurrently with metric
+  /// updates (instrumented hot paths, the ResourceSampler thread).
+  /// Every individual FIELD read is an atomic load, so no value ever
+  /// tears — a snapshotted counter/gauge is some value the metric
+  /// actually held. But the snapshot is NOT a consistent cut:
+  ///  - across metrics, each is read at a slightly different instant
+  ///    (a gauge written after its neighbor was copied can differ by
+  ///    up to one sampler period);
+  ///  - within a histogram, buckets/count/sum are separate atomics
+  ///    read in sequence, so a concurrent Observe() can appear in
+  ///    count but not yet in sum (or vice versa). Aggregates are
+  ///    monotone and converge; momentary cross-field skew of a few
+  ///    in-flight observations is expected and harmless for export.
+  /// Exporters and tests must therefore compare snapshots against
+  /// quiesced state or tolerate bounded skew, never assume atomicity
+  /// across fields.
   std::vector<MetricSnapshot> Snapshot() const;
 
   /// Zeroes every metric IN PLACE. Outstanding references (including

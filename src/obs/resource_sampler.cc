@@ -1,0 +1,139 @@
+#include "obs/resource_sampler.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace gem::obs {
+namespace {
+
+/// Reads a whole small /proc file into `buf`; returns bytes read or 0.
+size_t ReadProcFile(const char* path, char* buf, size_t cap) {
+  std::FILE* file = std::fopen(path, "r");
+  if (file == nullptr) return 0;
+  const size_t n = std::fread(buf, 1, cap - 1, file);
+  std::fclose(file);
+  buf[n] = '\0';
+  return n;
+}
+
+}  // namespace
+
+ResourceSample ResourceSampler::SampleNow() {
+  ResourceSample sample;
+  char buf[1024];
+
+  // /proc/self/statm: "size resident shared ..." in pages.
+  if (ReadProcFile("/proc/self/statm", buf, sizeof(buf)) > 0) {
+    long size_pages = 0;
+    long resident_pages = 0;
+    if (std::sscanf(buf, "%ld %ld", &size_pages, &resident_pages) == 2) {
+      sample.rss_bytes = static_cast<double>(resident_pages) *
+                         static_cast<double>(sysconf(_SC_PAGESIZE));
+    }
+  }
+
+  // /proc/self/stat: comm can contain spaces/parens, so parse the
+  // fixed fields counting from AFTER the last ')'. Field numbering
+  // (1-based, proc(5)): utime=14, stime=15, num_threads=20 — i.e.
+  // offsets 12, 13, and 18 among the post-comm fields.
+  if (ReadProcFile("/proc/self/stat", buf, sizeof(buf)) > 0) {
+    const char* after = std::strrchr(buf, ')');
+    if (after != nullptr) {
+      ++after;  // skip ')'
+      unsigned long utime = 0;
+      unsigned long stime = 0;
+      long num_threads = 0;
+      // state(3) ppid pgrp session tty tpgid flags minflt cminflt
+      // majflt cmajflt utime stime cutime cstime priority nice
+      // num_threads
+      const int parsed = std::sscanf(
+          after,
+          " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %lu %lu %*d %*d "
+          "%*d %*d %ld",
+          &utime, &stime, &num_threads);
+      if (parsed == 3) {
+        const double ticks =
+            static_cast<double>(sysconf(_SC_CLK_TCK));
+        if (ticks > 0) {
+          sample.user_cpu_seconds = static_cast<double>(utime) / ticks;
+          sample.sys_cpu_seconds = static_cast<double>(stime) / ticks;
+        }
+        sample.num_threads = static_cast<int>(num_threads);
+      }
+    }
+  }
+
+#if defined(__GLIBC__)
+  const struct mallinfo2 mi = mallinfo2();
+  sample.heap_bytes = static_cast<double>(mi.uordblks);
+  sample.heap_mapped_bytes = static_cast<double>(mi.hblkhd);
+#endif
+
+  return sample;
+}
+
+ResourceSampler::ResourceSampler(Options options) : options_(options) {
+  thread_ = std::thread([this] {
+    Timeline::SetCurrentThreadName("resource-sampler");
+    Loop();
+  });
+}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  do {
+    lock.unlock();
+    Publish(SampleNow());
+    lock.lock();
+    // Waits out one period, but leaves immediately on Stop() so
+    // teardown never stalls a full period.
+  } while (!stop_cv_.wait_for(lock,
+                              std::chrono::milliseconds(options_.period_ms),
+                              [this] { return stopping_; }));
+}
+
+void ResourceSampler::Publish(const ResourceSample& sample) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetGauge("gem_process_rss_bytes").Set(sample.rss_bytes);
+  registry.GetGauge("gem_process_cpu_seconds", {{"mode", "user"}})
+      .Set(sample.user_cpu_seconds);
+  registry.GetGauge("gem_process_cpu_seconds", {{"mode", "sys"}})
+      .Set(sample.sys_cpu_seconds);
+  registry.GetGauge("gem_process_threads")
+      .Set(static_cast<double>(sample.num_threads));
+  registry.GetGauge("gem_process_heap_bytes").Set(sample.heap_bytes);
+
+  if (Timeline::IsEnabled()) {
+    Timeline::RecordCounter("rss_mb", sample.rss_bytes / (1024.0 * 1024.0));
+    Timeline::RecordCounter("cpu_user_s", sample.user_cpu_seconds);
+    Timeline::RecordCounter("cpu_sys_s", sample.sys_cpu_seconds);
+    Timeline::RecordCounter("threads",
+                            static_cast<double>(sample.num_threads));
+    Timeline::RecordCounter("heap_mb",
+                            sample.heap_bytes / (1024.0 * 1024.0));
+  }
+}
+
+}  // namespace gem::obs

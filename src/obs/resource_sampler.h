@@ -1,0 +1,69 @@
+#ifndef GEM_OBS_RESOURCE_SAMPLER_H_
+#define GEM_OBS_RESOURCE_SAMPLER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace gem::obs {
+
+/// One reading of the process's resource usage (Linux /proc/self;
+/// fields that cannot be read stay at their zero defaults).
+struct ResourceSample {
+  double rss_bytes = 0.0;
+  double user_cpu_seconds = 0.0;
+  double sys_cpu_seconds = 0.0;
+  int num_threads = 0;
+  /// Heap bytes currently allocated (glibc mallinfo2; 0 elsewhere).
+  double heap_bytes = 0.0;
+  /// Cumulative allocation count proxy (glibc: mmap'd blocks + free
+  /// chunks is not available portably, so this is arena count; treat
+  /// as a coarse trend signal only).
+  double heap_mapped_bytes = 0.0;
+};
+
+/// Background thread that samples the process every `period_ms` and
+/// publishes each reading twice: as gauges in the MetricsRegistry
+/// (gem_process_rss_bytes, gem_process_cpu_seconds{mode=user|sys},
+/// gem_process_threads, gem_process_heap_bytes) and — when the
+/// timeline profiler is recording — as counter-series rows in the
+/// trace, so Perfetto shows RSS/CPU tracks alongside the spans.
+///
+/// Gauge updates race benignly with MetricsRegistry::Snapshot(): each
+/// gauge is a single atomic, so a snapshot sees each metric at some
+/// point within the last period but the SET of gauges is not a
+/// consistent cut (see the staleness contract on Snapshot()).
+class ResourceSampler {
+ public:
+  struct Options {
+    int period_ms = 100;
+  };
+
+  /// Starts the sampler thread (takes an immediate first sample).
+  explicit ResourceSampler(Options options);
+  ResourceSampler() : ResourceSampler(Options()) {}
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Stops and joins the thread (idempotent; the destructor calls it).
+  void Stop();
+
+  /// Reads /proc/self right now, without publishing anything.
+  static ResourceSample SampleNow();
+
+ private:
+  void Loop();
+  void Publish(const ResourceSample& sample);
+
+  const Options options_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  // guarded by mutex_
+  std::thread thread_;
+};
+
+}  // namespace gem::obs
+
+#endif  // GEM_OBS_RESOURCE_SAMPLER_H_

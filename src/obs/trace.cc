@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "base/logging.h"
+#include "obs/timeline.h"
 
 namespace gem::obs {
 namespace {
@@ -40,11 +41,27 @@ ScopedSpan::ScopedSpan(SpanFamily& family) : family_(family) {
   ++t_span_depth;
   const uint64_t n = family_.entries().FetchIncrement();
   sampled_ = (n & g_sample_mask.load(std::memory_order_relaxed)) == 0;
-  if (sampled_) start_ = std::chrono::steady_clock::now();
+  timeline_ = Timeline::IsEnabled();
+  if (timeline_) {
+    parent_context_ = CurrentTraceContext();
+    span_context_.trace_id = parent_context_.trace_id != 0
+                                 ? parent_context_.trace_id
+                                 : NewTraceId();
+    span_context_.span_id = NewSpanId();
+    SetCurrentTraceContext(span_context_);
+  }
+  if (sampled_ || timeline_) start_ = std::chrono::steady_clock::now();
 }
 
 ScopedSpan::~ScopedSpan() {
   const int depth = t_span_depth--;
+  if (timeline_) {
+    Timeline::RecordSpan(family_.name(), start_,
+                         std::chrono::steady_clock::now(),
+                         span_context_.trace_id, span_context_.span_id,
+                         parent_context_.span_id, depth);
+    SetCurrentTraceContext(parent_context_);
+  }
   if (!sampled_) return;
   const double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start_)

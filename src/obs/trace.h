@@ -2,8 +2,10 @@
 #define GEM_OBS_TRACE_H_
 
 #include <chrono>
+#include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace gem::obs {
 
@@ -41,6 +43,16 @@ class SpanFamily {
 /// the elapsed seconds into the family's histogram and, when the log
 /// level admits Debug, emits a nesting-indented "span <name> took
 /// <us>" line.
+///
+/// When the timeline profiler is enabled (Timeline::Enable /
+/// GEM_PROFILE), every entry additionally: mints a span id, installs
+/// itself as the thread's current TraceContext (starting a fresh
+/// trace id when entered with no active context, so top-level
+/// operations like gem.train become trace roots), and on destruction
+/// records a timeline span carrying (trace_id, span_id,
+/// parent_span_id, depth). Timeline recording is unsampled — the
+/// sampling shift only thins the HISTOGRAM, since a trace with holes
+/// is useless — but costs nothing when the profiler is off.
 class ScopedSpan {
  public:
   explicit ScopedSpan(SpanFamily& family);
@@ -56,7 +68,10 @@ class ScopedSpan {
  private:
   SpanFamily& family_;
   bool sampled_;
+  bool timeline_;
   std::chrono::steady_clock::time_point start_;
+  TraceContext span_context_;    // this span's identity (timeline only)
+  TraceContext parent_context_;  // restored at scope exit
 };
 
 }  // namespace gem::obs

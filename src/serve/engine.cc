@@ -7,7 +7,9 @@
 #include "fault/failpoint.h"
 #include "math/kernels.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace gem::serve {
 namespace {
@@ -74,7 +76,11 @@ Engine::Engine(FenceRegistry* registry, EngineOptions options)
       .Set(1.0);
   workers_.reserve(options_.num_threads);
   for (int i = 0; i < options_.num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::Timeline::SetCurrentThreadName("serve-worker-" +
+                                          std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 
@@ -117,8 +123,17 @@ Status Engine::Submit(ServeRequest request, Callback done) {
                                  std::to_string(options_.max_queue_depth) +
                                  " pending)");
     }
+    obs::TraceContext context;  // {0,0} when the profiler is off
+    if (obs::Timeline::IsEnabled()) {
+      // Inherit the submitter's trace (a traced caller span) or start
+      // a fresh one per request; the span id stays 0 so the worker's
+      // serve.request span becomes the request's root.
+      context.trace_id = obs::CurrentTraceContext().trace_id;
+      if (context.trace_id == 0) context.trace_id = obs::NewTraceId();
+      context.span_id = obs::CurrentTraceContext().span_id;
+    }
     queue_.push_back(Job{std::move(request), std::move(done), now,
-                         deadline_at});
+                         deadline_at, context});
     metrics.queue_depth.Set(static_cast<double>(queue_.size()));
   }
   metrics.admitted.Increment();
@@ -168,7 +183,11 @@ BatchServeResponse Engine::InferBatch(
   {
     // One fence-serialized section for the whole batch; the embedding
     // stage inside fans out on the model's own thread pool.
-    std::lock_guard model_lock(fence->mutex);
+    std::unique_lock model_lock(fence->mutex, std::defer_lock);
+    {
+      GEM_TRACE_SPAN("serve.fence_wait");
+      model_lock.lock();
+    }
     response.results = fence->gem.InferBatch(records);
   }
   metrics.infer_seconds.Observe(
@@ -211,10 +230,16 @@ void Engine::WorkerLoop() {
       queue_.pop_front();
       metrics.queue_depth.Set(static_cast<double>(queue_.size()));
     }
+    const auto dequeued_at = std::chrono::steady_clock::now();
     metrics.queue_wait_seconds.Observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      job.enqueued_at)
+        std::chrono::duration<double>(dequeued_at - job.enqueued_at)
             .count());
+    if (job.context.trace_id != 0) {
+      obs::Timeline::RecordAsyncSpan("serve.queue_wait", job.enqueued_at,
+                                     dequeued_at, job.context.trace_id,
+                                     obs::NewSpanId(), job.context.span_id);
+    }
+    obs::TraceContextScope trace_scope(job.context);
     ServeResponse response = Process(job.request, job.deadline_at);
     if (job.done) job.done(std::move(response));
   }
@@ -263,7 +288,13 @@ ServeResponse Engine::Process(
     // mutex is what keeps racing updates to one tenant's model sound
     // while other tenants proceed in parallel.
     GEM_TRACE_SPAN("serve.infer");
-    std::lock_guard model_lock(fence->mutex);
+    std::unique_lock model_lock(fence->mutex, std::defer_lock);
+    {
+      // Time spent BLOCKED on the tenant's serialization mutex, split
+      // out from execution so traces show contention directly.
+      GEM_TRACE_SPAN("serve.fence_wait");
+      model_lock.lock();
+    }
     // Fence-side deadline check: waiting on a busy tenant's mutex can
     // outlive the deadline just like queueing does.
     if (std::chrono::steady_clock::now() >= deadline_at) {

@@ -16,6 +16,7 @@
 #include "base/statusor.h"
 #include "base/thread_pool.h"
 #include "core/geofence.h"
+#include "obs/trace_context.h"
 #include "rf/types.h"
 #include "serve/fence_registry.h"
 
@@ -131,6 +132,12 @@ class Engine {
     std::chrono::steady_clock::time_point enqueued_at;
     /// Absolute deadline (time_point::max() when none applies).
     std::chrono::steady_clock::time_point deadline_at;
+    /// Trace identity minted at Submit when the timeline profiler is
+    /// on ({0,0} otherwise): the worker re-installs it before Process
+    /// so the request's spans attach to the submitter's trace across
+    /// the queue hop, and the enqueue->dequeue gap becomes a
+    /// "serve.queue_wait" interval under the same trace.
+    obs::TraceContext context;
   };
 
   void WorkerLoop();

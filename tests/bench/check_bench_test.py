@@ -27,6 +27,14 @@ TRAIN = {"workload": "fig9_train", "train_records": 1000,
                       "infer_batch_seconds": 1.0},
                      {"threads": 4, "train_seconds": 1.5,
                       "infer_batch_seconds": 0.4}]}
+# A --trace_out run: results entries additionally carry a per-stage
+# attribution array. Stage rows are warn-only in the gate.
+TRAIN_STAGED = json.loads(json.dumps(TRAIN))
+TRAIN_STAGED["results"][0]["stages"] = [
+    {"stage": "bisage.gradient", "count": 100,
+     "inclusive_seconds": 3.0, "exclusive_seconds": 2.8},
+    {"stage": "bisage.reduce", "count": 100,
+     "inclusive_seconds": 0.5, "exclusive_seconds": 0.5}]
 KERNELS = {"workload": "kernels", "active_backend": "avx2",
            "results": [{"kernel": "dot", "dim": 128, "backend": "scalar",
                         "ns_per_op": 60.0},
@@ -164,6 +172,53 @@ class CheckBenchTest(unittest.TestCase):
         result = self.run_checker()
         self.assertEqual(result.returncode, 0)
         self.assertIn("NEW", result.stdout)
+
+    def test_new_stage_keys_are_reported_not_gated(self):
+        # An old baseline (no stages) against a current run that emits
+        # per-stage attribution: the new keys must not fail the gate.
+        self.seed_all()
+        self.write(self.cur_dir, "BENCH_train.json", TRAIN_STAGED)
+        result = self.run_checker("BENCH_train.json")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("NEW", result.stdout)
+        self.assertIn("stage=bisage.gradient", result.stdout)
+
+    def test_stage_regression_warns_but_passes(self):
+        # Once stages ARE baselined, a 2x-slower stage only warns: stage
+        # exclusive times are too scheduler-noisy to gate merges on.
+        self.write(self.base_dir, "BENCH_train.json", TRAIN_STAGED)
+        slower = json.loads(json.dumps(TRAIN_STAGED))
+        slower["results"][0]["stages"][0]["exclusive_seconds"] *= 2.0
+        self.write(self.cur_dir, "BENCH_train.json", slower)
+        result = self.run_checker("BENCH_train.json")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("WARN", result.stdout)
+        self.assertIn("exclusive_seconds", result.stdout)
+
+    def test_baselined_stage_missing_warns_but_passes(self):
+        # Renamed/removed instrumentation: a stage disappearing from the
+        # current run warns instead of failing (stage names track the
+        # code, not the perf contract).
+        self.write(self.base_dir, "BENCH_train.json", TRAIN_STAGED)
+        fewer = json.loads(json.dumps(TRAIN_STAGED))
+        del fewer["results"][0]["stages"][1]
+        self.write(self.cur_dir, "BENCH_train.json", fewer)
+        result = self.run_checker("BENCH_train.json")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("missing from current run", result.stdout)
+        self.assertIn("WARN", result.stdout)
+
+    def test_top_level_regression_still_fails_with_stages_present(self):
+        # The stage rows must not blanket the whole file in warn-only:
+        # the end-to-end train_seconds gate still fails hard.
+        self.write(self.base_dir, "BENCH_train.json", TRAIN_STAGED)
+        slower = json.loads(json.dumps(TRAIN_STAGED))
+        slower["results"][0]["train_seconds"] *= 2.0
+        self.write(self.cur_dir, "BENCH_train.json", slower)
+        result = self.run_checker("BENCH_train.json")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("FAIL", result.stdout)
+        self.assertIn("train_seconds", result.stdout)
 
     def test_explicit_name_list_restricts_comparison(self):
         self.seed_all()
